@@ -1,0 +1,68 @@
+// bench_common.hpp — shared plumbing for the per-figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sec.hpp"
+#include "workload/env.hpp"
+#include "workload/reporter.hpp"
+#include "workload/runner.hpp"
+
+namespace sec::bench {
+
+using Value = std::uint64_t;
+
+// Thread-bound passed to stack constructors: the N workers plus the main
+// thread (and a little slack for gtest-style environments).
+inline std::size_t tid_bound(unsigned threads) {
+    return std::min<std::size_t>(kMaxThreads, threads + 8);
+}
+
+// Run one (stack type, mix, thread grid) series and add it to `table`.
+template <class S>
+void run_series(Table& table, const EnvConfig& env, const OpMix& mix,
+                std::string_view column) {
+    for (unsigned t : env.threads) {
+        RunConfig cfg;
+        cfg.threads = t;
+        cfg.duration = std::chrono::milliseconds(env.duration_ms);
+        cfg.prefill = env.prefill;
+        cfg.mix = mix;
+        cfg.value_range = env.value_range;
+        cfg.runs = env.runs;
+        const RunResult r =
+            run_throughput([t] { return make_stack<S>(tid_bound(t)); }, cfg);
+        table.add(t, column, r.mops);
+        std::fprintf(stderr, "  %-10.*s t=%-4u %8.2f Mops/s\n",
+                     static_cast<int>(column.size()), column.data(), t, r.mops);
+    }
+}
+
+// The six competitors of Figure 2/3, in the paper's legend order.
+template <class F>
+void for_each_algorithm(F&& f) {
+    f.template operator()<CcStack<Value>>("CC");
+    f.template operator()<EbStack<Value>>("EB");
+    f.template operator()<FcStack<Value>>("FC");
+    f.template operator()<SecStack<Value>>("SEC");
+    f.template operator()<TreiberStack<Value>>("TRB");
+    f.template operator()<TsiStack<Value>>("TSI");
+}
+
+inline std::vector<std::string> algorithm_columns() {
+    return {"CC", "EB", "FC", "SEC", "TRB", "TSI"};
+}
+
+// SEC with an explicit aggregator count (Figure 4 ablation).
+inline std::unique_ptr<SecStack<Value>> make_sec_agg(std::size_t aggs, unsigned threads) {
+    Config cfg;
+    cfg.num_aggregators = aggs;
+    cfg.max_threads = tid_bound(threads);
+    if (cfg.num_aggregators > cfg.max_threads) cfg.num_aggregators = cfg.max_threads;
+    return std::make_unique<SecStack<Value>>(cfg);
+}
+
+}  // namespace sec::bench

@@ -1,0 +1,124 @@
+// micro_ops.cpp — google-benchmark micro suite backing the paper's §2/§6
+// cost arguments:
+//   * per-op latency of each stack, uncontended and contended;
+//   * fetch&increment vs CAS under contention (why SEC's two-F&I
+//     elimination beats EB's three-CAS protocol);
+//   * EBR guard overhead (the reclamation tax every operation pays).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "sec.hpp"
+
+namespace {
+
+using Value = std::uint64_t;
+
+// ----- single-threaded op latency, per algorithm -----
+
+template <class S>
+void BM_UncontendedPushPop(benchmark::State& state) {
+    auto stack = sec::make_stack<S>(sec::kMaxThreads);
+    for (auto _ : state) {
+        stack->push(1);
+        benchmark::DoNotOptimize(stack->pop());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK_TEMPLATE(BM_UncontendedPushPop, sec::SecStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPushPop, sec::TreiberStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPushPop, sec::EbStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPushPop, sec::FcStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPushPop, sec::CcStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPushPop, sec::TsiStack<Value>);
+
+template <class S>
+void BM_UncontendedPeek(benchmark::State& state) {
+    auto stack = sec::make_stack<S>(sec::kMaxThreads);
+    stack->push(42);
+    for (auto _ : state) benchmark::DoNotOptimize(stack->peek());
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_TEMPLATE(BM_UncontendedPeek, sec::SecStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPeek, sec::TreiberStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPeek, sec::EbStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPeek, sec::FcStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPeek, sec::CcStack<Value>);
+BENCHMARK_TEMPLATE(BM_UncontendedPeek, sec::TsiStack<Value>);
+
+// ----- contended balanced churn, per algorithm (threads via ->Threads) -----
+
+template <class S>
+void BM_ContendedPushPop(benchmark::State& state) {
+    static S* shared = nullptr;
+    if (state.thread_index() == 0) {
+        shared = sec::make_stack<S>(sec::kMaxThreads).release();
+    }
+    // google-benchmark synchronises threads before the loop starts; the
+    // allocation above is visible by then.
+    for (auto _ : state) {
+        shared->push(1);
+        benchmark::DoNotOptimize(shared->pop());
+    }
+    if (state.thread_index() == 0) {
+        state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                                state.threads());
+        delete shared;
+        shared = nullptr;
+    }
+}
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, sec::SecStack<Value>)->Threads(4)->Threads(8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, sec::TreiberStack<Value>)->Threads(4)->Threads(8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, sec::EbStack<Value>)->Threads(4)->Threads(8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, sec::FcStack<Value>)->Threads(4)->Threads(8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, sec::CcStack<Value>)->Threads(4)->Threads(8)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, sec::TsiStack<Value>)->Threads(4)->Threads(8)->UseRealTime();
+
+// ----- primitive costs: two F&I (SEC elimination) vs three CAS (EB) -----
+
+void BM_TwoFetchIncrement(benchmark::State& state) {
+    static std::atomic<std::uint64_t> a{0}, b{0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.fetch_add(1, std::memory_order_acq_rel));
+        benchmark::DoNotOptimize(b.fetch_add(1, std::memory_order_acq_rel));
+    }
+}
+BENCHMARK(BM_TwoFetchIncrement)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_ThreeCas(benchmark::State& state) {
+    static std::atomic<std::uint64_t> a{0}, b{0}, c{0};
+    for (auto _ : state) {
+        for (std::atomic<std::uint64_t>* x : {&a, &b, &c}) {
+            std::uint64_t cur = x->load(std::memory_order_acquire);
+            while (!x->compare_exchange_weak(cur, cur + 1, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+            }
+        }
+    }
+}
+BENCHMARK(BM_ThreeCas)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+// ----- EBR guard cost -----
+
+void BM_EbrGuardEnterExit(benchmark::State& state) {
+    static sec::ebr::Domain domain;
+    for (auto _ : state) {
+        sec::ebr::Guard g(domain);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_EbrGuardEnterExit)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_EbrRetireAmortised(benchmark::State& state) {
+    static sec::ebr::Domain domain;
+    for (auto _ : state) {
+        sec::ebr::Guard g(domain);
+        domain.retire(new std::uint64_t(1));
+    }
+    if (state.thread_index() == 0) domain.drain_all();
+}
+BENCHMARK(BM_EbrRetireAmortised)->Threads(1)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();
