@@ -1,0 +1,222 @@
+// core/aggregator.hpp — the SEC batching engine (paper §3).
+//
+// An AggregatorSet partitions threads across K aggregators (contiguous
+// blocks or round-robin). A thread publishes its operation in its own
+// cache-line slot, then races for its aggregator's freezer lock. The winner
+// — the freezer — optionally backs off for `freezer_backoff_ns` so the batch
+// can grow (§3.1: "a short backoff before freezing B to increase the
+// elimination degree"), then freezes the batch:
+//   1. elimination — concurrent push/pop pairs exchange values directly,
+//      two slot writes per pair, never touching the shared structure;
+//   2. combining  — leftover same-direction operations are applied to the
+//      backing structure in ONE batched call (a single CAS on a Treiber
+//      spine for an arbitrarily long run of pushes or pops).
+// Per-batch degree counters back the paper's Table 1.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/config.hpp"
+
+namespace sec::detail {
+
+template <class V>
+class AggregatorSet {
+public:
+    static constexpr std::uint32_t kOpPush = 1;
+    static constexpr std::uint32_t kOpPop = 2;
+
+    explicit AggregatorSet(const Config& cfg) : cfg_(cfg) {
+        cfg_.validate();
+        num_aggs_ = std::min(cfg_.num_aggregators, cfg_.max_threads);
+        slots_ = std::make_unique<Slot[]>(cfg_.max_threads);
+        aggs_ = std::make_unique<Agg[]>(num_aggs_);
+        for (std::size_t a = 0; a < num_aggs_; ++a) aggs_[a].index = a;
+        for (std::size_t t = 0; t < cfg_.max_threads; ++t) {
+            aggs_[agg_of(t)].tids.push_back(static_cast<std::uint32_t>(t));
+        }
+        for (std::size_t a = 0; a < num_aggs_; ++a) {
+            Agg& agg = aggs_[a];
+            agg.scratch_push =
+                std::make_unique<std::uint32_t[]>(agg.tids.size());
+            agg.scratch_pop =
+                std::make_unique<std::uint32_t[]>(agg.tids.size());
+            agg.scratch_vals = std::make_unique<V[]>(agg.tids.size());
+        }
+    }
+
+    std::size_t num_aggregators() const noexcept { return num_aggs_; }
+    const Config& config() const noexcept { return cfg_; }
+
+    // True when `tid` has no publication slot (more live threads than
+    // Config::max_threads); callers must take their direct fallback path.
+    bool is_overflow(std::size_t tid) const noexcept {
+        return tid >= cfg_.max_threads;
+    }
+
+    // Run one operation through the batching protocol. `apply_pushes(agg,
+    // vals, n)` must push n values onto the backing structure; `apply_pops(
+    // agg, out, n)` must pop up to n values, returning how many it got.
+    // Returns the popped value for kOpPop (nullopt: empty), nullopt for push.
+    template <class ApplyPushes, class ApplyPops>
+    std::optional<V> execute(std::uint32_t op, const V& in,
+                             ApplyPushes&& apply_pushes,
+                             ApplyPops&& apply_pops) {
+        const std::size_t id = detail::tid();
+        Slot& slot = slots_[id];
+        Agg& agg = aggs_[agg_of(id)];
+        slot.in = in;
+        slot.state.store(op, std::memory_order_release);
+        Backoff backoff;
+        for (;;) {
+            std::uint32_t st = slot.state.load(std::memory_order_acquire);
+            if (st >= kDonePushed) return consume(slot, st);
+            if (agg.lock.exchange(1, std::memory_order_acquire) == 0) {
+                // We are the freezer. A previous freezer may have served us
+                // between our load and the lock; only combine if still open.
+                if (slot.state.load(std::memory_order_relaxed) <= kOpPop) {
+                    combine(agg, apply_pushes, apply_pops);
+                }
+                agg.lock.store(0, std::memory_order_release);
+                st = slot.state.load(std::memory_order_acquire);
+                return consume(slot, st);
+            }
+            backoff.pause();
+        }
+    }
+
+    StatsSnapshot stats() const {
+        StatsSnapshot s;
+        for (std::size_t a = 0; a < num_aggs_; ++a) {
+            const Agg& agg = aggs_[a];
+            s.batches += agg.batches.load(std::memory_order_relaxed);
+            s.batched_ops += agg.batched.load(std::memory_order_relaxed);
+            s.eliminated_ops += agg.eliminated.load(std::memory_order_relaxed);
+            s.combined_ops += agg.combined.load(std::memory_order_relaxed);
+        }
+        return s;
+    }
+
+private:
+    // Slot states: 0 idle, kOpPush/kOpPop pending, >= kDonePushed terminal.
+    static constexpr std::uint32_t kIdle = 0;
+    static constexpr std::uint32_t kDonePushed = 3;
+    static constexpr std::uint32_t kDoneValue = 4;
+    static constexpr std::uint32_t kDoneEmpty = 5;
+
+    struct alignas(kCacheLineSize) Slot {
+        std::atomic<std::uint32_t> state{kIdle};
+        V in{};   // owner-written before the pending release store
+        V out{};  // freezer-written before the kDoneValue release store
+    };
+
+    struct alignas(kCacheLineSize) Agg {
+        std::atomic<std::uint32_t> lock{0};
+        std::size_t index = 0;
+        std::vector<std::uint32_t> tids;
+        // Scratch for the freezer; guarded by `lock`.
+        std::unique_ptr<std::uint32_t[]> scratch_push;
+        std::unique_ptr<std::uint32_t[]> scratch_pop;
+        std::unique_ptr<V[]> scratch_vals;
+        // Degree counters (Table 1); freezer-only writers.
+        std::atomic<std::uint64_t> batches{0};
+        std::atomic<std::uint64_t> batched{0};
+        std::atomic<std::uint64_t> eliminated{0};
+        std::atomic<std::uint64_t> combined{0};
+    };
+
+    std::size_t agg_of(std::size_t tid) const noexcept {
+        if (cfg_.mapping == AggregatorMapping::kRoundRobin) {
+            return tid % num_aggs_;
+        }
+        return tid * num_aggs_ / cfg_.max_threads;  // contiguous blocks
+    }
+
+    std::optional<V> consume(Slot& slot, std::uint32_t st) {
+        std::optional<V> r;
+        if (st == kDoneValue) r = slot.out;
+        slot.state.store(kIdle, std::memory_order_relaxed);
+        return r;
+    }
+
+    template <class ApplyPushes, class ApplyPops>
+    void combine(Agg& agg, ApplyPushes&& apply_pushes, ApplyPops&& apply_pops) {
+        std::size_t np = 0, nq = 0;
+        auto scan = [&] {
+            np = nq = 0;
+            for (std::uint32_t t : agg.tids) {
+                const std::uint32_t s =
+                    slots_[t].state.load(std::memory_order_acquire);
+                if (s == kOpPush) {
+                    agg.scratch_push[np++] = t;
+                } else if (s == kOpPop) {
+                    agg.scratch_pop[nq++] = t;
+                }
+            }
+        };
+        scan();
+        if (cfg_.freezer_backoff_ns > 0 && np + nq > 1) {
+            // Freezer backoff: let the batch fill before freezing it.
+            detail::spin_for_ns(cfg_.freezer_backoff_ns);
+            scan();
+        }
+        const std::size_t batch = np + nq;
+        if (batch == 0) return;
+
+        // Freeze: the snapshot is the batch. Eliminate push/pop pairs.
+        const std::size_t pairs = std::min(np, nq);
+        for (std::size_t i = 0; i < pairs; ++i) {
+            Slot& ps = slots_[agg.scratch_push[i]];
+            Slot& qs = slots_[agg.scratch_pop[i]];
+            qs.out = ps.in;
+            qs.state.store(kDoneValue, std::memory_order_release);
+            ps.state.store(kDonePushed, std::memory_order_release);
+        }
+
+        // Combine the leftover run (all pushes or all pops) in one shot.
+        if (np > pairs) {
+            const std::size_t n = np - pairs;
+            for (std::size_t i = 0; i < n; ++i) {
+                agg.scratch_vals[i] = slots_[agg.scratch_push[pairs + i]].in;
+            }
+            apply_pushes(agg.index, agg.scratch_vals.get(), n);
+            for (std::size_t i = 0; i < n; ++i) {
+                slots_[agg.scratch_push[pairs + i]].state.store(
+                    kDonePushed, std::memory_order_release);
+            }
+        } else if (nq > pairs) {
+            const std::size_t n = nq - pairs;
+            const std::size_t got =
+                apply_pops(agg.index, agg.scratch_vals.get(), n);
+            for (std::size_t i = 0; i < got; ++i) {
+                Slot& qs = slots_[agg.scratch_pop[pairs + i]];
+                qs.out = agg.scratch_vals[i];
+                qs.state.store(kDoneValue, std::memory_order_release);
+            }
+            for (std::size_t i = got; i < n; ++i) {
+                slots_[agg.scratch_pop[pairs + i]].state.store(
+                    kDoneEmpty, std::memory_order_release);
+            }
+        }
+
+        if (cfg_.collect_stats) {
+            agg.batches.fetch_add(1, std::memory_order_relaxed);
+            agg.batched.fetch_add(batch, std::memory_order_relaxed);
+            agg.eliminated.fetch_add(2 * pairs, std::memory_order_relaxed);
+            agg.combined.fetch_add(batch - 2 * pairs,
+                                   std::memory_order_relaxed);
+        }
+    }
+
+    Config cfg_;
+    std::size_t num_aggs_ = 1;
+    std::unique_ptr<Slot[]> slots_;
+    std::unique_ptr<Agg[]> aggs_;
+};
+
+}  // namespace sec::detail

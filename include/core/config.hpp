@@ -1,0 +1,79 @@
+// core/config.hpp — SecStack/ElimPool configuration and the per-run degree
+// statistics (batching / elimination / combining, paper Table 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/common.hpp"
+
+namespace sec {
+
+// How threads are spread across aggregators (§3.2: threads are assigned
+// "evenly"; the paper's prose example is contiguous blocks).
+enum class AggregatorMapping : std::uint8_t {
+    kContiguous,  // threads [0,M/K) -> agg 0, [M/K,2M/K) -> agg 1, ...
+    kRoundRobin,  // thread t -> agg t % K
+};
+
+inline constexpr std::size_t kMaxAggregators = 5;
+
+struct Config {
+    // Number of aggregators (batches being formed concurrently). The paper's
+    // sweet spot for update-heavy loads is 2-4 (§6, Figure 4).
+    std::size_t num_aggregators = 4;
+    // Bound on concurrently-live threads using the structure. Per-thread
+    // publication slots are sized by this.
+    std::size_t max_threads = kMaxThreads;
+    AggregatorMapping mapping = AggregatorMapping::kContiguous;
+    // Backoff the freezer executes before freezing a batch, to let the batch
+    // grow and raise the elimination degree (§3.1).
+    std::uint64_t freezer_backoff_ns = 256;
+    // When true, per-batch degree counters are maintained (small overhead).
+    bool collect_stats = false;
+
+    void validate() const {
+        if (num_aggregators < 1 || num_aggregators > kMaxAggregators) {
+            throw std::invalid_argument(
+                "sec::Config: num_aggregators must be in [1, 5]");
+        }
+        if (max_threads < 1 || max_threads > kMaxThreads) {
+            throw std::invalid_argument(
+                "sec::Config: max_threads must be in [1, kMaxThreads]");
+        }
+        if (mapping != AggregatorMapping::kContiguous &&
+            mapping != AggregatorMapping::kRoundRobin) {
+            throw std::invalid_argument("sec::Config: unknown mapping");
+        }
+    }
+};
+
+// Snapshot of the degree counters (Table 1 metrics). `batched_ops` counts
+// operations that went through a frozen batch; of those, `eliminated_ops`
+// were matched push/pop pairs and `combined_ops` were applied to the central
+// structure by the combiner.
+struct StatsSnapshot {
+    std::uint64_t batches = 0;
+    std::uint64_t batched_ops = 0;
+    std::uint64_t eliminated_ops = 0;
+    std::uint64_t combined_ops = 0;
+
+    double batching_degree() const noexcept {
+        return batches ? static_cast<double>(batched_ops) /
+                             static_cast<double>(batches)
+                       : 0.0;
+    }
+    double elimination_pct() const noexcept {
+        return batched_ops ? 100.0 * static_cast<double>(eliminated_ops) /
+                                 static_cast<double>(batched_ops)
+                           : 0.0;
+    }
+    double combining_pct() const noexcept {
+        return batched_ops ? 100.0 * static_cast<double>(combined_ops) /
+                                 static_cast<double>(batched_ops)
+                           : 0.0;
+    }
+};
+
+}  // namespace sec

@@ -1,0 +1,99 @@
+// core/elim_pool.hpp — the SEC machinery generalised to an unordered pool
+// (paper conclusion: the sharded elimination/combining layer is not
+// stack-specific). Unlike SecStack, which funnels every combined run through
+// ONE top pointer, ElimPool gives each aggregator its own spine: the last
+// shared contention point disappears, at the price of LIFO order. extract()
+// falls back to stealing from sibling spines when the local one is empty.
+// bench/ablation_pool_vs_stack.cpp measures what that buys.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "core/aggregator.hpp"
+#include "core/common.hpp"
+#include "core/config.hpp"
+#include "core/ebr.hpp"
+#include "core/spine.hpp"
+
+namespace sec {
+
+template <class V>
+class ElimPool {
+public:
+    using value_type = V;
+
+    explicit ElimPool(Config cfg)
+        : aggs_(cfg),
+          spines_(std::make_unique<Spine[]>(aggs_.num_aggregators())) {}
+
+    ~ElimPool() {
+        for (std::size_t a = 0; a < aggs_.num_aggregators(); ++a) {
+            detail::spine_destroy(spines_[a].top);
+        }
+    }
+
+    ElimPool(const ElimPool&) = delete;
+    ElimPool& operator=(const ElimPool&) = delete;
+
+    bool insert(const V& v) {
+        if (aggs_.is_overflow(detail::tid())) {
+            detail::spine_push_chain(spines_[0].top, &v, 1);
+            return true;
+        }
+        (void)aggs_.execute(
+            Aggs::kOpPush, v,
+            [this](std::size_t a, const V* vals, std::size_t n) {
+                detail::spine_push_chain(spines_[a].top, vals, n);
+            },
+            [this](std::size_t a, V* out, std::size_t n) {
+                return pop_any(a, out, n);
+            });
+        return true;
+    }
+
+    std::optional<V> extract() {
+        if (aggs_.is_overflow(detail::tid())) {
+            V out;
+            return pop_any(0, &out, 1) == 1 ? std::optional<V>(out)
+                                            : std::nullopt;
+        }
+        return aggs_.execute(
+            Aggs::kOpPop, V{},
+            [this](std::size_t a, const V* vals, std::size_t n) {
+                detail::spine_push_chain(spines_[a].top, vals, n);
+            },
+            [this](std::size_t a, V* out, std::size_t n) {
+                return pop_any(a, out, n);
+            });
+    }
+
+    StatsSnapshot stats() const { return aggs_.stats(); }
+
+private:
+    using Aggs = detail::AggregatorSet<V>;
+
+    struct alignas(kCacheLineSize) Spine {
+        std::atomic<detail::SpineNode<V>*> top{nullptr};
+    };
+
+    // Pop up to n values, preferring the local spine, then stealing.
+    std::size_t pop_any(std::size_t a, V* out, std::size_t n) {
+        ebr::Guard guard(*domain_);
+        std::size_t got = detail::spine_pop_chain(spines_[a].top, *domain_,
+                                                  out, n);
+        const std::size_t k = aggs_.num_aggregators();
+        for (std::size_t step = 1; got < n && step < k; ++step) {
+            got += detail::spine_pop_chain(spines_[(a + step) % k].top,
+                                           *domain_, out + got, n - got);
+        }
+        return got;
+    }
+
+    Aggs aggs_;
+    ebr::DomainRef domain_;
+    std::unique_ptr<Spine[]> spines_;
+};
+
+}  // namespace sec

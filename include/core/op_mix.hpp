@@ -1,0 +1,34 @@
+// core/op_mix.hpp — the paper's workload mixes (§6): an operation mix is a
+// push/pop/peek percentage split; "updates" are pushes + pops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sec {
+
+struct OpMix {
+    std::string_view name;
+    std::uint8_t push_pct = 50;
+    std::uint8_t pop_pct = 50;
+    // Remainder up to 100 is read-only peeks.
+
+    constexpr unsigned update_pct() const noexcept {
+        return static_cast<unsigned>(push_pct) + pop_pct;
+    }
+    constexpr unsigned peek_pct() const noexcept { return 100 - update_pct(); }
+};
+
+// The three standard mixes of Figures 2/5/9 and Table 1, legend order.
+inline constexpr std::array<OpMix, 3> kStandardMixes = {{
+    {"upd100", 50, 50},
+    {"upd50", 25, 25},
+    {"upd10", 5, 5},
+}};
+
+inline constexpr OpMix kUpdateHeavy = kStandardMixes[0];
+inline constexpr OpMix kPushOnly = {"push_only", 100, 0};
+inline constexpr OpMix kPopOnly = {"pop_only", 0, 100};
+
+}  // namespace sec

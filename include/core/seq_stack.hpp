@@ -1,0 +1,40 @@
+// core/seq_stack.hpp — the sequential stack a combiner applies requests
+// against, shared by the flat-combining and CC-Synch baselines so their
+// semantics cannot diverge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sec::detail {
+
+enum class SeqOp : std::uint32_t { kPush, kPop, kPeek };
+
+template <class V>
+class SeqStack {
+public:
+    // Pop/peek return the value (nullopt: empty); push returns nullopt.
+    std::optional<V> apply(SeqOp op, const V& v) {
+        switch (op) {
+            case SeqOp::kPush:
+                items_.push_back(v);
+                return std::nullopt;
+            case SeqOp::kPop: {
+                if (items_.empty()) return std::nullopt;
+                V out = items_.back();
+                items_.pop_back();
+                return out;
+            }
+            default: {  // kPeek
+                if (items_.empty()) return std::nullopt;
+                return items_.back();
+            }
+        }
+    }
+
+private:
+    std::vector<V> items_;
+};
+
+}  // namespace sec::detail

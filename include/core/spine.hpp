@@ -1,0 +1,91 @@
+// core/spine.hpp — the lock-free Treiber spine shared by SecStack and
+// ElimPool: batched single-CAS chain push, batched single-CAS multi-pop
+// with EBR retirement, and teardown. Keeping it in one place keeps the two
+// structures from diverging.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+
+#include "core/common.hpp"
+#include "core/ebr.hpp"
+
+namespace sec::detail {
+
+template <class V>
+struct SpineNode {
+    V value;
+    SpineNode* next;
+};
+
+// Link vals[0..n) above the current top with a single CAS. vals[n-1] ends
+// up topmost; within a batch the operations are concurrent, so any internal
+// order is linearizable.
+template <class V>
+void spine_push_chain(std::atomic<SpineNode<V>*>& top, const V* vals,
+                      std::size_t n) {
+    SpineNode<V>* bottom = nullptr;
+    SpineNode<V>* chain = nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+        chain = new SpineNode<V>{vals[i], chain};
+        if (bottom == nullptr) bottom = chain;
+    }
+    bottom->next = top.load(std::memory_order_relaxed);
+    while (!top.compare_exchange_weak(bottom->next, chain,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        cpu_relax();
+    }
+}
+
+// Detach up to n nodes with a single CAS; returns how many were popped.
+// Caller must hold an ebr::Guard on `domain`.
+template <class V>
+std::size_t spine_pop_chain(std::atomic<SpineNode<V>*>& top,
+                            ebr::Domain& domain, V* out, std::size_t n) {
+    SpineNode<V>* head = top.load(std::memory_order_acquire);
+    for (;;) {
+        if (head == nullptr) return 0;
+        SpineNode<V>* end = head;
+        std::size_t count = 0;
+        while (end != nullptr && count < n) {
+            end = end->next;
+            ++count;
+        }
+        if (top.compare_exchange_weak(head, end, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+            SpineNode<V>* node = head;
+            for (std::size_t i = 0; i < count; ++i) {
+                out[i] = node->value;
+                SpineNode<V>* next = node->next;
+                domain.retire(node);
+                node = next;
+            }
+            return count;
+        }
+        cpu_relax();
+    }
+}
+
+// Caller must hold an ebr::Guard on the owning domain.
+template <class V>
+std::optional<V> spine_peek(const std::atomic<SpineNode<V>*>& top) {
+    SpineNode<V>* head = top.load(std::memory_order_acquire);
+    if (head == nullptr) return std::nullopt;
+    return head->value;
+}
+
+// Teardown only: no concurrent access may remain.
+template <class V>
+void spine_destroy(std::atomic<SpineNode<V>*>& top) {
+    SpineNode<V>* n = top.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+        SpineNode<V>* next = n->next;
+        delete n;
+        n = next;
+    }
+    top.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace sec::detail

@@ -1,0 +1,53 @@
+// core/treiber_stack.hpp — the classic lock-free stack (Treiber '86): a
+// single top pointer updated by CAS. The contention baseline of Figure 2
+// ("TRB collapses under contention": every operation fights for one line).
+// Push/pop are the n=1 case of the shared spine primitives.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "core/common.hpp"
+#include "core/ebr.hpp"
+#include "core/spine.hpp"
+
+namespace sec {
+
+template <class V>
+class TreiberStack {
+public:
+    using value_type = V;
+
+    explicit TreiberStack(std::size_t /*max_threads*/) {}
+    TreiberStack(std::size_t /*max_threads*/, ebr::Domain& domain)
+        : domain_(domain) {}
+
+    ~TreiberStack() { detail::spine_destroy(top_); }
+
+    TreiberStack(const TreiberStack&) = delete;
+    TreiberStack& operator=(const TreiberStack&) = delete;
+
+    bool push(const V& v) {
+        detail::spine_push_chain(top_, &v, 1);
+        return true;
+    }
+
+    std::optional<V> pop() {
+        ebr::Guard guard(*domain_);
+        V out;
+        return detail::spine_pop_chain(top_, *domain_, &out, 1) == 1
+                   ? std::optional<V>(out)
+                   : std::nullopt;
+    }
+
+    std::optional<V> peek() const {
+        ebr::Guard guard(*domain_);
+        return detail::spine_peek(top_);
+    }
+
+private:
+    ebr::DomainRef domain_;
+    std::atomic<detail::SpineNode<V>*> top_{nullptr};
+};
+
+}  // namespace sec

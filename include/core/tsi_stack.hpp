@@ -1,0 +1,172 @@
+// core/tsi_stack.hpp — timestamped stack (Dodds, Haas, Kirsch, POPL'15
+// lineage): each thread pushes into its own single-producer pool, stamping
+// elements with a hardware timestamp, so pushes touch no shared memory; a
+// pop scans every pool for the youngest untaken element and claims it with
+// one CAS on its `taken` flag. This is why TSI dominates push-only workloads
+// (Figure 3: no synchronisation at all) and collapses on pop-only (every pop
+// pays an all-pools scan).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "core/common.hpp"
+#include "core/ebr.hpp"
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace sec {
+
+template <class V>
+class TsiStack {
+public:
+    using value_type = V;
+
+    explicit TsiStack(std::size_t max_threads)
+        : TsiStack(max_threads, ebr::DomainRef()) {}
+    TsiStack(std::size_t max_threads, ebr::Domain& domain)
+        : TsiStack(max_threads, ebr::DomainRef(domain)) {}
+
+    ~TsiStack() {
+        for (std::size_t i = 0; i < num_pools_; ++i) {
+            Node* n = pools_[i].head.load(std::memory_order_relaxed);
+            while (n != nullptr) {
+                Node* next = n->next;
+                delete n;
+                n = next;
+            }
+        }
+    }
+
+    TsiStack(const TsiStack&) = delete;
+    TsiStack& operator=(const TsiStack&) = delete;
+
+    bool push(const V& v) {
+        Pool& pool = pools_[pool_of(detail::tid())];
+        Node* node = new Node;
+        node->value = v;
+        node->taken.store(false, std::memory_order_relaxed);
+        node->ts = now();
+        Node* head = pool.head.load(std::memory_order_relaxed);
+        do {
+            node->next = head;
+        } while (!pool.head.compare_exchange_weak(head, node,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed));
+        return true;
+    }
+
+    std::optional<V> pop() {
+        ebr::Guard guard(*domain_);
+        for (;;) {
+            Node* best = nullptr;
+            std::uint64_t best_ts = 0;
+            for (std::size_t i = 0; i < num_pools_; ++i) {
+                Node* n = first_untaken(pools_[i]);
+                if (n != nullptr && (best == nullptr || n->ts > best_ts)) {
+                    best = n;
+                    best_ts = n->ts;
+                }
+            }
+            if (best == nullptr) return std::nullopt;  // all pools empty
+            bool expected = false;
+            if (best->taken.compare_exchange_strong(
+                    expected, true, std::memory_order_acq_rel,
+                    std::memory_order_relaxed)) {
+                return best->value;
+            }
+            // Lost the claim race; rescan.
+            detail::cpu_relax();
+        }
+    }
+
+    std::optional<V> peek() const {
+        ebr::Guard guard(*domain_);
+        const Node* best = nullptr;
+        std::uint64_t best_ts = 0;
+        for (std::size_t i = 0; i < num_pools_; ++i) {
+            const Node* n = first_untaken(pools_[i]);
+            if (n != nullptr && (best == nullptr || n->ts > best_ts)) {
+                best = n;
+                best_ts = n->ts;
+            }
+        }
+        if (best == nullptr) return std::nullopt;
+        return best->value;
+    }
+
+private:
+    struct Node {
+        V value{};
+        std::uint64_t ts = 0;
+        std::atomic<bool> taken{false};
+        Node* next = nullptr;  // toward older elements; immutable once linked
+    };
+
+    struct alignas(kCacheLineSize) Pool {
+        std::atomic<Node*> head{nullptr};
+    };
+
+    TsiStack(std::size_t max_threads, ebr::DomainRef domain)
+        : num_pools_(std::min(std::max<std::size_t>(max_threads, 1),
+                              kMaxThreads)),
+          domain_(std::move(domain)),
+          pools_(std::make_unique<Pool[]>(num_pools_)) {}
+
+    std::size_t pool_of(std::size_t tid) const noexcept {
+        return tid < num_pools_ ? tid : tid % num_pools_;
+    }
+
+    static std::uint64_t now() noexcept {
+#if defined(__x86_64__)
+        return __rdtsc();
+#else
+        return static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+    }
+
+    // Skip (and detach) the taken prefix of `pool`, returning the youngest
+    // live node. Detaching keeps pop cost amortised instead of rescanning an
+    // ever-growing dead prefix; detached nodes go to the EBR limbo list.
+    Node* first_untaken(Pool& pool) {
+        Node* head = pool.head.load(std::memory_order_acquire);
+        Node* n = head;
+        while (n != nullptr && n->taken.load(std::memory_order_acquire)) {
+            n = n->next;
+        }
+        if (n != head) {
+            // CAS the whole dead prefix off; the winner retires it.
+            if (pool.head.compare_exchange_strong(head, n,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+                Node* dead = head;
+                while (dead != n) {
+                    Node* next = dead->next;
+                    domain_->retire(dead);
+                    dead = next;
+                }
+            }
+        }
+        return n;
+    }
+
+    const Node* first_untaken(const Pool& pool) const {
+        const Node* n = pool.head.load(std::memory_order_acquire);
+        while (n != nullptr && n->taken.load(std::memory_order_acquire)) {
+            n = n->next;
+        }
+        return n;
+    }
+
+    std::size_t num_pools_;
+    ebr::DomainRef domain_;
+    std::unique_ptr<Pool[]> pools_;
+};
+
+}  // namespace sec

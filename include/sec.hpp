@@ -1,0 +1,41 @@
+// sec.hpp — umbrella header for the sec library: the SEC stack, its five
+// competitors (Figure 2 legend order: CC, EB, FC, SEC, TRB, TSI), the EBR
+// domain, and shared utilities.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <type_traits>
+
+#include "core/cc_stack.hpp"
+#include "core/common.hpp"
+#include "core/config.hpp"
+#include "core/eb_stack.hpp"
+#include "core/ebr.hpp"
+#include "core/fc_stack.hpp"
+#include "core/op_mix.hpp"
+#include "core/sec_stack.hpp"
+#include "core/treiber_stack.hpp"
+#include "core/tsi_stack.hpp"
+
+namespace sec {
+
+// Construct any of the six stacks with a bound on concurrently-live threads:
+// Config-based stacks (SecStack) get a default Config sized to the bound,
+// the others take the bound directly.
+template <class S>
+std::unique_ptr<S> make_stack(std::size_t max_threads) {
+    if constexpr (std::is_constructible_v<S, Config>) {
+        Config cfg;
+        cfg.max_threads =
+            std::min(std::max<std::size_t>(max_threads, 1), kMaxThreads);
+        cfg.num_aggregators =
+            std::min(cfg.num_aggregators, cfg.max_threads);
+        return std::make_unique<S>(cfg);
+    } else {
+        return std::make_unique<S>(
+            std::min(std::max<std::size_t>(max_threads, 1), kMaxThreads));
+    }
+}
+
+}  // namespace sec

@@ -1,0 +1,33 @@
+// workload/env.hpp — bench scaling knobs from the environment.
+//
+// Defaults are sized for a quick smoke run; SEC_BENCH_PAPER=1 switches to
+// the paper's full methodology (5 s windows x 5 runs over a wide thread
+// grid). Individual knobs override either baseline:
+//   SEC_BENCH_DURATION_MS  measured window per data point (ms)
+//   SEC_BENCH_RUNS         repetitions per data point (mean is reported)
+//   SEC_BENCH_THREADS      comma-separated thread grid, e.g. "1,4,16,64"
+//   SEC_BENCH_PREFILL      nodes pushed before the window opens
+//   SEC_BENCH_VALUE_RANGE  value universe for pushes
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace sec::bench {
+
+struct EnvConfig {
+    std::vector<unsigned> threads;
+    unsigned duration_ms = 200;
+    unsigned runs = 1;
+    std::size_t prefill = 1000;  // the paper's prefill
+    std::size_t value_range = std::size_t{1} << 20;
+
+    static EnvConfig load();
+};
+
+// Banner on stderr: bench name, hardware, and the effective EnvConfig, so
+// every result log is self-describing.
+void print_preamble(std::string_view bench_name);
+
+}  // namespace sec::bench

@@ -1,0 +1,27 @@
+// workload/reporter.hpp — result table: human-aligned on stdout plus
+// machine-greppable CSV lines (`CSV,<table>,<threads>,<column>,<value>`).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sec::bench {
+
+class Table {
+public:
+    Table(std::string name, std::vector<std::string> columns);
+
+    void add(unsigned threads, std::string_view column, double value);
+    void print() const;
+
+    const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+    std::vector<std::string> columns_;
+    // threads -> column -> Mops (ordered so rows print in grid order).
+    std::map<unsigned, std::map<std::string, double, std::less<>>> rows_;
+};
+
+}  // namespace sec::bench

@@ -1,0 +1,99 @@
+// workload/runner.hpp — the timed-window throughput harness every bench
+// shares: prefill, barrier, fixed measurement window, per-thread padded op
+// counters, mean across runs.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/op_mix.hpp"
+
+namespace sec::bench {
+
+struct RunConfig {
+    unsigned threads = 1;
+    std::chrono::milliseconds duration{200};
+    std::size_t prefill = 0;
+    OpMix mix = kUpdateHeavy;
+    std::size_t value_range = std::size_t{1} << 20;
+    unsigned runs = 1;
+};
+
+struct RunResult {
+    double mops = 0;  // million operations per second, mean across runs
+    std::uint64_t total_ops = 0;  // summed across runs
+};
+
+// `make()` may return a smart pointer (fresh structure per run) or a raw
+// pointer (caller keeps the structure alive, e.g. to read stats afterwards).
+template <class Factory>
+RunResult run_throughput(Factory&& make, const RunConfig& cfg) {
+    RunResult result;
+    for (unsigned run = 0; run < cfg.runs; ++run) {
+        auto holder = make();
+        auto& stack = *holder;
+
+        std::atomic<bool> stop{false};
+        std::vector<CacheAligned<std::uint64_t>> ops(cfg.threads);
+        std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
+
+        std::vector<std::thread> workers;
+        workers.reserve(cfg.threads);
+        for (unsigned t = 0; t < cfg.threads; ++t) {
+            workers.emplace_back([&, t, run] {
+                Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull + run);
+                // Each worker loads its share of the prefill so deep
+                // prefills parallelise and (for TSI) spread across pools.
+                std::size_t share = cfg.prefill / cfg.threads;
+                if (t == 0) share += cfg.prefill % cfg.threads;
+                for (std::size_t i = 0; i < share; ++i) {
+                    stack.push(static_cast<typename std::remove_reference_t<
+                                   decltype(stack)>::value_type>(
+                        rng.next_below(cfg.value_range)));
+                }
+                sync.arrive_and_wait();
+                std::uint64_t local = 0;
+                const unsigned push_cut = cfg.mix.push_pct;
+                const unsigned pop_cut = cfg.mix.update_pct();
+                while (!stop.load(std::memory_order_relaxed)) {
+                    const std::uint64_t r = rng.next_below(100);
+                    if (r < push_cut) {
+                        stack.push(static_cast<typename std::remove_reference_t<
+                                       decltype(stack)>::value_type>(
+                            rng.next_below(cfg.value_range)));
+                    } else if (r < pop_cut) {
+                        (void)stack.pop();
+                    } else {
+                        (void)stack.peek();
+                    }
+                    ++local;
+                }
+                *ops[t] = local;
+            });
+        }
+
+        sync.arrive_and_wait();
+        const auto start = std::chrono::steady_clock::now();
+        std::this_thread::sleep_for(cfg.duration);
+        stop.store(true, std::memory_order_relaxed);
+        const auto end = std::chrono::steady_clock::now();
+        for (auto& w : workers) w.join();
+
+        std::uint64_t total = 0;
+        for (const auto& c : ops) total += *c;
+        const double us = std::chrono::duration<double, std::micro>(
+                              end - start)
+                              .count();
+        result.total_ops += total;
+        result.mops += us > 0 ? static_cast<double>(total) / us : 0.0;
+    }
+    result.mops /= cfg.runs;
+    return result;
+}
+
+}  // namespace sec::bench

@@ -1,0 +1,146 @@
+// ebr.cpp — epoch advancement and limbo sweeping for sec::ebr::Domain.
+#include "core/ebr.hpp"
+
+namespace sec::ebr {
+namespace {
+
+struct SpinLockGuard {
+    explicit SpinLockGuard(std::atomic_flag& f) noexcept : flag(f) {
+        sec::detail::Backoff backoff;
+        while (flag.test_and_set(std::memory_order_acquire)) {
+            backoff.pause();
+        }
+    }
+    ~SpinLockGuard() { flag.clear(std::memory_order_release); }
+    std::atomic_flag& flag;
+};
+
+}  // namespace
+
+Domain::~Domain() {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) sweep(i, kInactive);
+}
+
+void Domain::enter() noexcept {
+    Reservation& res = reservations_[detail::tid()];
+    if (res.nesting++ > 0) return;
+    // Announce the current epoch; re-read to close the window where the
+    // global epoch moves between our load and our announcement.
+    std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    for (;;) {
+        res.epoch.store(e, std::memory_order_seq_cst);
+        const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+        if (now == e) break;
+        e = now;
+    }
+}
+
+void Domain::exit() noexcept {
+    Reservation& res = reservations_[detail::tid()];
+    if (--res.nesting > 0) return;
+    res.epoch.store(kInactive, std::memory_order_release);
+}
+
+bool Domain::try_advance() noexcept {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (const Reservation& res : reservations_) {
+        const std::uint64_t v = res.epoch.load(std::memory_order_seq_cst);
+        if (v != kInactive && v != e) return false;  // straggler in an old epoch
+    }
+    std::uint64_t expected = e;
+    global_epoch_.compare_exchange_strong(expected, e + 1,
+                                          std::memory_order_acq_rel);
+    return true;  // someone advanced past e (us or a peer)
+}
+
+bool Domain::any_active() const noexcept {
+    for (const Reservation& res : reservations_) {
+        if (res.epoch.load(std::memory_order_seq_cst) != kInactive) return true;
+    }
+    return false;
+}
+
+void Domain::sweep(std::size_t i, std::uint64_t limit) {
+    LimboList& list = limbo_[i];
+    Chunk* reclaim = nullptr;
+    {
+        SpinLockGuard lock(list.lock);
+        if (limit == kInactive) {
+            reclaim = list.head;
+            list.head = list.tail = nullptr;
+        } else {
+            // Chunks are oldest-first and epochs non-decreasing, so detach
+            // whole head chunks whose NEWEST entry already cleared the
+            // grace period. The bound is strict (`+ 2 <`): the retire-time
+            // epoch read may lag the global epoch by one on weakly-ordered
+            // hardware, so two observed advances are not proof of a full
+            // grace period for a stamp that was already stale.
+            Chunk** out = &reclaim;
+            while (list.head != nullptr && list.head->count > 0 &&
+                   list.head->entries[list.head->count - 1].epoch + 2 <
+                       limit) {
+                Chunk* chunk = list.head;
+                list.head = chunk->next;
+                if (list.head == nullptr) list.tail = nullptr;
+                chunk->next = nullptr;
+                *out = chunk;
+                out = &chunk->next;
+            }
+        }
+    }
+    std::uint64_t freed = 0;
+    while (reclaim != nullptr) {
+        Chunk* next = reclaim->next;
+        for (std::uint32_t k = 0; k < reclaim->count; ++k) {
+            reclaim->entries[k].deleter(reclaim->entries[k].p);
+        }
+        freed += reclaim->count;
+        delete reclaim;
+        reclaim = next;
+    }
+    if (freed > 0) freed_total_.fetch_add(freed, std::memory_order_acq_rel);
+}
+
+void Domain::retire_erased(void* p, void (*deleter)(void*)) {
+    const std::size_t id = detail::tid();
+    const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+    // Count before the entry is appended (and thus freeable by a concurrent
+    // sweep): freed_count() must never be observable above retired_count().
+    retired_total_.fetch_add(1, std::memory_order_acq_rel);
+    bool scan = false;
+    {
+        LimboList& list = limbo_[id];
+        SpinLockGuard lock(list.lock);
+        if (list.tail == nullptr || list.tail->count == kChunkSize) {
+            auto* chunk = new Chunk;  // default-init: skip zeroing entries[]
+            if (list.tail != nullptr) {
+                list.tail->next = chunk;
+            } else {
+                list.head = chunk;
+            }
+            list.tail = chunk;
+        }
+        list.tail->entries[list.tail->count++] = {p, deleter, epoch};
+        if (++list.retires_since_scan >= kScanInterval) {
+            list.retires_since_scan = 0;
+            scan = true;
+        }
+    }
+    if (scan) {
+        try_advance();
+        sweep(id, global_epoch_.load(std::memory_order_acquire));
+    }
+}
+
+void Domain::drain_all() {
+    // A handful of advance attempts walks the 3-epoch pipeline fully forward
+    // when there are no (or only current-epoch) readers.
+    for (int i = 0; i < 4; ++i) try_advance();
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    const bool quiescent = !any_active();
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+        sweep(i, quiescent ? kInactive : e);
+    }
+}
+
+}  // namespace sec::ebr

@@ -1,0 +1,97 @@
+// env.cpp — EnvConfig::load and the bench preamble.
+#include "workload/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/common.hpp"
+
+namespace sec::bench {
+namespace {
+
+const char* get_env(const char* name) { return std::getenv(name); }
+
+unsigned env_unsigned(const char* name, unsigned fallback) {
+    const char* v = get_env(name);
+    if (v == nullptr || *v == '\0') return fallback;
+    return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* v = get_env(name);
+    if (v == nullptr || *v == '\0') return fallback;
+    return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+std::vector<unsigned> parse_grid(const char* csv) {
+    std::vector<unsigned> grid;
+    const char* p = csv;
+    while (*p != '\0') {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p) break;
+        if (v > 0) grid.push_back(static_cast<unsigned>(v));
+        p = end;
+        while (*p == ',' || *p == ' ') ++p;
+    }
+    return grid;
+}
+
+}  // namespace
+
+EnvConfig EnvConfig::load() {
+    EnvConfig cfg;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const bool paper = env_unsigned("SEC_BENCH_PAPER", 0) != 0;
+
+    if (paper) {
+        // Paper methodology: 5 s windows, 5 runs, grid up to the machine.
+        cfg.duration_ms = 5000;
+        cfg.runs = 5;
+        for (unsigned t : {1u, 2u, 4u, 8u, 16u, 24u, 32u, 48u, 64u, 96u,
+                           128u}) {
+            if (t <= 2 * hw) cfg.threads.push_back(t);
+        }
+    } else {
+        cfg.duration_ms = 200;
+        cfg.runs = 1;
+        cfg.threads = {2, 4, 8};
+    }
+
+    cfg.duration_ms = env_unsigned("SEC_BENCH_DURATION_MS", cfg.duration_ms);
+    cfg.runs = std::max(1u, env_unsigned("SEC_BENCH_RUNS", cfg.runs));
+    cfg.prefill = env_size("SEC_BENCH_PREFILL", cfg.prefill);
+    cfg.value_range =
+        std::max<std::size_t>(1, env_size("SEC_BENCH_VALUE_RANGE",
+                                          cfg.value_range));
+    if (const char* grid = get_env("SEC_BENCH_THREADS")) {
+        std::vector<unsigned> parsed = parse_grid(grid);
+        if (!parsed.empty()) cfg.threads = std::move(parsed);
+    }
+    if (cfg.threads.empty()) cfg.threads = {2, 4, 8};
+    for (unsigned& t : cfg.threads) {
+        t = std::min<unsigned>(t, static_cast<unsigned>(kMaxThreads) - 8);
+    }
+    return cfg;
+}
+
+void print_preamble(std::string_view bench_name) {
+    const EnvConfig cfg = EnvConfig::load();
+    std::string grid;
+    for (unsigned t : cfg.threads) {
+        if (!grid.empty()) grid += ',';
+        grid += std::to_string(t);
+    }
+    std::fprintf(stderr,
+                 "== %.*s ==\n"
+                 "hw_threads=%u duration_ms=%u runs=%u prefill=%zu "
+                 "value_range=%zu threads=[%s]%s\n",
+                 static_cast<int>(bench_name.size()), bench_name.data(),
+                 std::thread::hardware_concurrency(), cfg.duration_ms,
+                 cfg.runs, cfg.prefill, cfg.value_range, grid.c_str(),
+                 env_unsigned("SEC_BENCH_PAPER", 0) ? " (paper mode)" : "");
+}
+
+}  // namespace sec::bench

@@ -1,0 +1,44 @@
+// reporter.cpp — Table printing.
+#include "workload/reporter.hpp"
+
+#include <cstdio>
+
+namespace sec::bench {
+
+Table::Table(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+void Table::add(unsigned threads, std::string_view column, double value) {
+    rows_[threads][std::string(column)] = value;
+}
+
+void Table::print() const {
+    std::printf("\n== %s (Mops/s) ==\n", name_.c_str());
+    std::printf("%-8s", "threads");
+    for (const auto& c : columns_) std::printf(" %12s", c.c_str());
+    std::printf("\n");
+    for (const auto& [threads, cells] : rows_) {
+        std::printf("%-8u", threads);
+        for (const auto& c : columns_) {
+            const auto it = cells.find(c);
+            if (it != cells.end()) {
+                std::printf(" %12.2f", it->second);
+            } else {
+                std::printf(" %12s", "-");
+            }
+        }
+        std::printf("\n");
+    }
+    for (const auto& [threads, cells] : rows_) {
+        for (const auto& c : columns_) {
+            const auto it = cells.find(c);
+            if (it != cells.end()) {
+                std::printf("CSV,%s,%u,%s,%.4f\n", name_.c_str(), threads,
+                            c.c_str(), it->second);
+            }
+        }
+    }
+    std::fflush(stdout);
+}
+
+}  // namespace sec::bench

@@ -1,0 +1,46 @@
+// thread_registry.cpp — recycled small thread ids (see core/common.hpp).
+#include "core/common.hpp"
+
+#include <bitset>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace sec::detail {
+namespace {
+
+std::mutex g_mutex;
+std::bitset<kMaxThreads> g_in_use;
+
+std::size_t acquire_id() {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+        if (!g_in_use.test(i)) {
+            g_in_use.set(i);
+            return i;
+        }
+    }
+    std::fprintf(stderr,
+                 "sec: more than %zu live threads; raise sec::kMaxThreads\n",
+                 kMaxThreads);
+    std::abort();
+}
+
+void release_id(std::size_t id) noexcept {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_in_use.reset(id);
+}
+
+struct TidHolder {
+    std::size_t id = acquire_id();
+    ~TidHolder() { release_id(id); }
+};
+
+}  // namespace
+
+std::size_t tid() noexcept {
+    thread_local TidHolder holder;
+    return holder.id;
+}
+
+}  // namespace sec::detail

@@ -1,0 +1,120 @@
+// sec_config_test.cpp — Config validation and the stats plumbing behind
+// bench/table1_degrees.cpp: aggregator counts 1-5, both mapping modes, and
+// collect_stats yielding non-zero batching/elimination degrees on an
+// update-heavy mix.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sec.hpp"
+
+namespace {
+
+using Value = std::uint64_t;
+using Stack = sec::SecStack<Value>;
+
+TEST(SecConfigTest, RejectsAggregatorCountOutOfRange) {
+    sec::Config cfg;
+    cfg.num_aggregators = 0;
+    EXPECT_THROW(Stack{cfg}, std::invalid_argument);
+    cfg.num_aggregators = sec::kMaxAggregators + 1;
+    EXPECT_THROW(Stack{cfg}, std::invalid_argument);
+}
+
+TEST(SecConfigTest, RejectsBadMaxThreads) {
+    sec::Config cfg;
+    cfg.max_threads = 0;
+    EXPECT_THROW(Stack{cfg}, std::invalid_argument);
+    cfg.max_threads = sec::kMaxThreads + 1;
+    EXPECT_THROW(Stack{cfg}, std::invalid_argument);
+}
+
+TEST(SecConfigTest, AcceptsAllAggregatorCounts) {
+    for (std::size_t aggs = 1; aggs <= sec::kMaxAggregators; ++aggs) {
+        sec::Config cfg;
+        cfg.num_aggregators = aggs;
+        cfg.max_threads = 16;
+        Stack stack(cfg);
+        stack.push(aggs);
+        EXPECT_EQ(stack.pop().value(), aggs);
+        EXPECT_FALSE(stack.pop().has_value());
+    }
+}
+
+TEST(SecConfigTest, MappingModesPreserveSemantics) {
+    for (auto mapping : {sec::AggregatorMapping::kContiguous,
+                         sec::AggregatorMapping::kRoundRobin}) {
+        sec::Config cfg;
+        cfg.mapping = mapping;
+        cfg.max_threads = 16;
+        Stack stack(cfg);
+        constexpr unsigned kThreads = 4;
+        constexpr std::uint64_t kPerThread = 5000;
+        std::vector<std::thread> workers;
+        for (unsigned t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&stack] {
+                for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                    stack.push(i);
+                }
+            });
+        }
+        for (auto& w : workers) w.join();
+        std::uint64_t drained = 0;
+        while (stack.pop().has_value()) ++drained;
+        EXPECT_EQ(drained, kThreads * kPerThread);
+    }
+}
+
+TEST(SecConfigTest, StatsOffByDefault) {
+    sec::Config cfg;
+    cfg.max_threads = 8;
+    Stack stack(cfg);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        stack.push(i);
+        (void)stack.pop();
+    }
+    const sec::StatsSnapshot s = stack.stats();
+    EXPECT_EQ(s.batches, 0u);
+    EXPECT_EQ(s.batched_ops, 0u);
+}
+
+TEST(SecConfigTest, CollectStatsYieldsDegreesOnUpdateHeavyMix) {
+    sec::Config cfg;
+    cfg.max_threads = 16;
+    cfg.collect_stats = true;
+    Stack stack(cfg);
+
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint32_t kPerThread = 20000;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&stack, t] {
+            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
+            // kUpdateHeavy: 50% push, 50% pop.
+            for (std::uint32_t i = 0; i < kPerThread; ++i) {
+                if (rng.next_below(100) < sec::kUpdateHeavy.push_pct) {
+                    stack.push(i);
+                } else {
+                    (void)stack.pop();
+                }
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+
+    const sec::StatsSnapshot s = stack.stats();
+    EXPECT_GT(s.batches, 0u);
+    EXPECT_GT(s.batched_ops, 0u);
+    EXPECT_GE(s.batching_degree(), 1.0);
+    // Concurrent pushes and pops must have met inside batches.
+    EXPECT_GT(s.eliminated_ops, 0u);
+    EXPECT_GT(s.elimination_pct(), 0.0);
+    // Every batched op is either eliminated or combined, never both.
+    EXPECT_EQ(s.eliminated_ops + s.combined_ops, s.batched_ops);
+    EXPECT_LE(s.elimination_pct() + s.combining_pct(), 100.0001);
+}
+
+}  // namespace

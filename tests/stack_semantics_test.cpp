@@ -1,0 +1,85 @@
+// stack_semantics_test.cpp — single-threaded LIFO semantics for all six
+// stacks via one typed suite: ordering, empty-pop, non-destructive peek,
+// and prefill round-trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sec.hpp"
+
+namespace {
+
+using Value = std::uint64_t;
+
+template <class S>
+class StackSemanticsTest : public ::testing::Test {
+protected:
+    std::unique_ptr<S> stack = sec::make_stack<S>(16);
+};
+
+using StackTypes =
+    ::testing::Types<sec::CcStack<Value>, sec::EbStack<Value>,
+                     sec::FcStack<Value>, sec::SecStack<Value>,
+                     sec::TreiberStack<Value>, sec::TsiStack<Value>>;
+TYPED_TEST_SUITE(StackSemanticsTest, StackTypes);
+
+TYPED_TEST(StackSemanticsTest, PopOnEmptyReturnsEmptyOptional) {
+    EXPECT_FALSE(this->stack->pop().has_value());
+    EXPECT_FALSE(this->stack->peek().has_value());
+    // Still empty after the failed attempts.
+    EXPECT_FALSE(this->stack->pop().has_value());
+}
+
+TYPED_TEST(StackSemanticsTest, PushPopIsLifo) {
+    constexpr Value kCount = 1000;
+    for (Value v = 1; v <= kCount; ++v) EXPECT_TRUE(this->stack->push(v));
+    for (Value v = kCount; v >= 1; --v) {
+        auto popped = this->stack->pop();
+        ASSERT_TRUE(popped.has_value());
+        EXPECT_EQ(*popped, v);
+    }
+    EXPECT_FALSE(this->stack->pop().has_value());
+}
+
+TYPED_TEST(StackSemanticsTest, InterleavedPushPopStaysLifo) {
+    this->stack->push(1);
+    this->stack->push(2);
+    EXPECT_EQ(this->stack->pop().value(), 2u);
+    this->stack->push(3);
+    this->stack->push(4);
+    EXPECT_EQ(this->stack->pop().value(), 4u);
+    EXPECT_EQ(this->stack->pop().value(), 3u);
+    EXPECT_EQ(this->stack->pop().value(), 1u);
+    EXPECT_FALSE(this->stack->pop().has_value());
+}
+
+TYPED_TEST(StackSemanticsTest, PeekIsNonDestructive) {
+    this->stack->push(41);
+    this->stack->push(42);
+    EXPECT_EQ(this->stack->peek().value(), 42u);
+    EXPECT_EQ(this->stack->peek().value(), 42u);  // unchanged
+    EXPECT_EQ(this->stack->pop().value(), 42u);
+    EXPECT_EQ(this->stack->peek().value(), 41u);
+    EXPECT_EQ(this->stack->pop().value(), 41u);
+}
+
+TYPED_TEST(StackSemanticsTest, PrefillRoundTrips) {
+    constexpr std::size_t kCount = 5000;
+    std::vector<Value> pushed;
+    sec::Xoshiro256 rng(0xC0FFEE);
+    for (std::size_t i = 0; i < kCount; ++i) {
+        const Value v = rng.next();
+        pushed.push_back(v);
+        this->stack->push(v);
+    }
+    std::vector<Value> popped;
+    while (auto v = this->stack->pop()) popped.push_back(*v);
+    ASSERT_EQ(popped.size(), pushed.size());
+    std::sort(pushed.begin(), pushed.end());
+    std::sort(popped.begin(), popped.end());
+    EXPECT_EQ(pushed, popped);
+}
+
+}  // namespace
