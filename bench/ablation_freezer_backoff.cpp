@@ -1,49 +1,5 @@
-// ablation_freezer_backoff.cpp — design-choice ablation (DESIGN.md §5).
-//
-// The paper states (§3.1): "the freezer thread f_B executes a short backoff
-// before freezing B to increase the elimination degree ... Experiments
-// showed that this results in enhanced performance." This bench quantifies
-// that claim: SEC throughput and degrees across freezer backoff windows,
-// update-heavy workload.
-#include <cstdio>
+// ablation_freezer_backoff — legacy driver, now a stub over the
+// `ablation_backoff` scenario (src/scenarios.cpp).
+#include "workload/registry.hpp"
 
-#include "bench_common.hpp"
-
-namespace sb = sec::bench;
-
-int main() {
-    sb::print_preamble("ablation_freezer_backoff");
-    const sb::EnvConfig env = sb::EnvConfig::load();
-
-    constexpr std::uint64_t kWindowsNs[] = {0, 128, 256, 512, 1024, 4096};
-    std::vector<std::string> columns;
-    for (auto w : kWindowsNs) columns.push_back("bo" + std::to_string(w));
-
-    sb::Table table("ablation_freezer_backoff_upd100", columns);
-    for (auto w : kWindowsNs) {
-        const std::string column = "bo" + std::to_string(w);
-        for (unsigned t : env.threads) {
-            sec::Config cfg;
-            cfg.max_threads = sb::tid_bound(t);
-            cfg.freezer_backoff_ns = w;
-            cfg.collect_stats = true;
-            auto stack = std::make_unique<sec::SecStack<sb::Value>>(cfg);
-
-            sb::RunConfig rcfg;
-            rcfg.threads = t;
-            rcfg.duration = std::chrono::milliseconds(env.duration_ms);
-            rcfg.prefill = env.prefill;
-            rcfg.mix = sec::kUpdateHeavy;
-            rcfg.runs = env.runs;
-            const sb::RunResult r = sb::run_throughput(
-                [&stack]() -> sec::SecStack<sb::Value>* { return stack.get(); }, rcfg);
-            table.add(t, column, r.mops);
-            const sec::StatsSnapshot s = stack->stats();
-            std::fprintf(stderr, "  bo=%-5llu t=%-4u %8.2f Mops/s batch=%.1f elim=%.0f%%\n",
-                         static_cast<unsigned long long>(w), t, r.mops,
-                         s.batching_degree(), s.elimination_pct());
-        }
-    }
-    table.print();
-    return 0;
-}
+int main() { return sec::bench::run_legacy_scenario("ablation_backoff"); }

@@ -1,45 +1,5 @@
-// ablation_mapping.cpp — design-choice ablation (DESIGN.md §5).
-//
-// The paper assigns threads to aggregators "evenly" and notes "more
-// sophisticated schemes are also possible" (§3.2). This bench compares the
-// two even mappings this library ships — contiguous blocks (the paper's
-// prose example) and round-robin — on the update-heavy workload.
-#include "bench_common.hpp"
+// ablation_mapping — legacy driver, now a stub over the `ablation_mapping`
+// scenario (src/scenarios.cpp).
+#include "workload/registry.hpp"
 
-namespace sb = sec::bench;
-
-namespace {
-
-void run_mapping(sb::Table& table, const sb::EnvConfig& env,
-                 sec::AggregatorMapping mapping, const std::string& column) {
-    for (unsigned t : env.threads) {
-        sb::RunConfig rcfg;
-        rcfg.threads = t;
-        rcfg.duration = std::chrono::milliseconds(env.duration_ms);
-        rcfg.prefill = env.prefill;
-        rcfg.mix = sec::kUpdateHeavy;
-        rcfg.runs = env.runs;
-        const sb::RunResult r = sb::run_throughput(
-            [mapping, t] {
-                sec::Config cfg;
-                cfg.max_threads = sb::tid_bound(t);
-                cfg.mapping = mapping;
-                return std::make_unique<sec::SecStack<sb::Value>>(cfg);
-            },
-            rcfg);
-        table.add(t, column, r.mops);
-        std::fprintf(stderr, "  %-10s t=%-4u %8.2f Mops/s\n", column.c_str(), t, r.mops);
-    }
-}
-
-}  // namespace
-
-int main() {
-    sb::print_preamble("ablation_mapping");
-    const sb::EnvConfig env = sb::EnvConfig::load();
-    sb::Table table("ablation_mapping_upd100", {"contiguous", "round_robin"});
-    run_mapping(table, env, sec::AggregatorMapping::kContiguous, "contiguous");
-    run_mapping(table, env, sec::AggregatorMapping::kRoundRobin, "round_robin");
-    table.print();
-    return 0;
-}
+int main() { return sec::bench::run_legacy_scenario("ablation_mapping"); }

@@ -1,65 +1,5 @@
-// ablation_pool_vs_stack.cpp — what dropping LIFO order buys (DESIGN.md §5).
-//
-// The paper's conclusion argues the sharded elimination/combining machinery
-// generalises beyond stacks. ElimPool applies it to an unordered pool with
-// one spine PER AGGREGATOR, removing the last shared contention point that
-// SecStack's single top pointer keeps. This bench puts the two side by side
-// on the update-heavy mix: the gap is the price of LIFO.
-#include "bench_common.hpp"
+// ablation_pool_vs_stack — legacy driver, now a stub over the
+// `ablation_pool` scenario (src/scenarios.cpp).
+#include "workload/registry.hpp"
 
-#include "core/elim_pool.hpp"
-
-namespace sb = sec::bench;
-
-namespace {
-
-// Adapter so the throughput runner (written against the stack concept) can
-// drive the pool.
-struct PoolAsStack {
-    using value_type = sb::Value;
-    explicit PoolAsStack(sec::Config cfg) : pool(std::move(cfg)) {}
-    bool push(const value_type& v) { return pool.insert(v); }
-    std::optional<value_type> pop() { return pool.extract(); }
-    std::optional<value_type> peek() { return std::nullopt; }  // pools don't peek
-    sec::ElimPool<value_type> pool;
-};
-
-sec::Config cfg_for(unsigned threads, std::size_t aggs) {
-    sec::Config cfg;
-    cfg.max_threads = sb::tid_bound(threads);
-    cfg.num_aggregators = std::min<std::size_t>(aggs, cfg.max_threads);
-    return cfg;
-}
-
-}  // namespace
-
-int main() {
-    sb::print_preamble("ablation_pool_vs_stack");
-    const sb::EnvConfig env = sb::EnvConfig::load();
-
-    sb::Table table("ablation_pool_vs_stack_upd100",
-                    {"SEC_stack", "ElimPool_K2", "ElimPool_K4"});
-    for (unsigned t : env.threads) {
-        sb::RunConfig rcfg;
-        rcfg.threads = t;
-        rcfg.duration = std::chrono::milliseconds(env.duration_ms);
-        rcfg.prefill = env.prefill;
-        rcfg.mix = sec::kUpdateHeavy;
-        rcfg.runs = env.runs;
-
-        auto r1 = sb::run_throughput(
-            [t] { return sec::make_stack<sec::SecStack<sb::Value>>(sb::tid_bound(t)); },
-            rcfg);
-        table.add(t, "SEC_stack", r1.mops);
-        auto r2 = sb::run_throughput(
-            [t] { return std::make_unique<PoolAsStack>(cfg_for(t, 2)); }, rcfg);
-        table.add(t, "ElimPool_K2", r2.mops);
-        auto r3 = sb::run_throughput(
-            [t] { return std::make_unique<PoolAsStack>(cfg_for(t, 4)); }, rcfg);
-        table.add(t, "ElimPool_K4", r3.mops);
-        std::fprintf(stderr, "t=%-4u stack=%.2f poolK2=%.2f poolK4=%.2f Mops/s\n", t,
-                     r1.mops, r2.mops, r3.mops);
-    }
-    table.print();
-    return 0;
-}
+int main() { return sec::bench::run_legacy_scenario("ablation_pool"); }

@@ -1,25 +1,18 @@
-// bench_common.hpp — shared plumbing for the per-figure bench binaries.
+// bench_common.hpp — the statically-typed series helper for bench code that
+// wants a concrete stack type at compile time (the in-tree drivers are
+// registry stubs now; workload/registry.hpp owns the algorithm list,
+// `Value`, `tid_bound`, and `algorithm_columns`, and the stderr progress
+// line is `progress_line` in workload/reporter.hpp). Compiled by
+// tests/registry_test.cpp so it cannot rot unnoticed.
 #pragma once
-
-#include <cstdio>
-#include <memory>
-#include <string>
-#include <vector>
 
 #include "sec.hpp"
 #include "workload/env.hpp"
+#include "workload/registry.hpp"
 #include "workload/reporter.hpp"
 #include "workload/runner.hpp"
 
 namespace sec::bench {
-
-using Value = std::uint64_t;
-
-// Thread-bound passed to stack constructors: the N workers plus the main
-// thread (and a little slack for gtest-style environments).
-inline std::size_t tid_bound(unsigned threads) {
-    return std::min<std::size_t>(kMaxThreads, threads + 8);
-}
 
 // Run one (stack type, mix, thread grid) series and add it to `table`.
 template <class S>
@@ -36,33 +29,8 @@ void run_series(Table& table, const EnvConfig& env, const OpMix& mix,
         const RunResult r =
             run_throughput([t] { return make_stack<S>(tid_bound(t)); }, cfg);
         table.add(t, column, r.mops);
-        std::fprintf(stderr, "  %-10.*s t=%-4u %8.2f Mops/s\n",
-                     static_cast<int>(column.size()), column.data(), t, r.mops);
+        progress_line(column, t, r.mops);
     }
-}
-
-// The six competitors of Figure 2/3, in the paper's legend order.
-template <class F>
-void for_each_algorithm(F&& f) {
-    f.template operator()<CcStack<Value>>("CC");
-    f.template operator()<EbStack<Value>>("EB");
-    f.template operator()<FcStack<Value>>("FC");
-    f.template operator()<SecStack<Value>>("SEC");
-    f.template operator()<TreiberStack<Value>>("TRB");
-    f.template operator()<TsiStack<Value>>("TSI");
-}
-
-inline std::vector<std::string> algorithm_columns() {
-    return {"CC", "EB", "FC", "SEC", "TRB", "TSI"};
-}
-
-// SEC with an explicit aggregator count (Figure 4 ablation).
-inline std::unique_ptr<SecStack<Value>> make_sec_agg(std::size_t aggs, unsigned threads) {
-    Config cfg;
-    cfg.num_aggregators = aggs;
-    cfg.max_threads = tid_bound(threads);
-    if (cfg.num_aggregators > cfg.max_threads) cfg.num_aggregators = cfg.max_threads;
-    return std::make_unique<SecStack<Value>>(cfg);
 }
 
 }  // namespace sec::bench

@@ -1,44 +1,5 @@
-// fig2_throughput.cpp — EXP1: throughput vs thread count for the three
-// paper workloads, all six algorithms.
-//
-// Regenerates: Figure 2a (Emerald), Figure 2b / Figure 5 (IceLake),
-// Figure 9 (Sapphire) — same experiment, machine-dependent thread grid.
-// Expected shape (paper §6): SEC wins at high thread counts (up to 2-2.6x),
-// FC/CC flatten early, TRB collapses under contention, EB scales but trails
-// SEC, TSI is competitive at 100% updates and degrades at 50%/10%.
-//
-// Scale via env: SEC_BENCH_DURATION_MS / _RUNS / _THREADS / _PREFILL, or
-// SEC_BENCH_PAPER=1 for the paper's full 5s x 5-run methodology.
-#include "bench_common.hpp"
+// fig2_throughput — legacy EXP1 driver, now a stub over the `fig2` scenario
+// (src/scenarios.cpp; run `secbench fig2` for the CLI with selection flags).
+#include "workload/registry.hpp"
 
-namespace sb = sec::bench;
-
-namespace {
-
-struct SeriesRunner {
-    sb::Table& table;
-    const sb::EnvConfig& env;
-    const sec::OpMix& mix;
-
-    template <class S>
-    void operator()(const char* name) const {
-        sb::run_series<S>(table, env, mix, name);
-    }
-};
-
-}  // namespace
-
-int main() {
-    sb::print_preamble("fig2_throughput (EXP1)");
-    const sb::EnvConfig env = sb::EnvConfig::load();
-
-    for (const sec::OpMix& mix : sec::kStandardMixes) {
-        sb::Table table(std::string("fig2_") + std::string(mix.name),
-                        sb::algorithm_columns());
-        std::fprintf(stderr, "workload %s (%u%% updates)\n", mix.name.data(),
-                     mix.update_pct());
-        sb::for_each_algorithm(SeriesRunner{table, env, mix});
-        table.print();
-    }
-    return 0;
-}
+int main() { return sec::bench::run_legacy_scenario("fig2"); }

@@ -1,56 +1,5 @@
-// fig3_push_pop_only.cpp — EXP2: asymmetric workloads, all six algorithms.
-//
-// Regenerates: Figure 3 (Emerald), Figure 6 (IceLake), Figure 10 (Sapphire).
-// Expected shape (paper §6): TSI dominates push-only (up to 6x vs SEC —
-// its pushes are synchronisation-free) and collapses on pop-only (SEC up to
-// 3x faster — every TSI pop scans all pools); SEC and the others are
-// roughly symmetric across the two directions.
-//
-// Pop-only uses a deep prefill so the measured window actually pops (the
-// paper's 1000-node prefill drains instantly; afterwards throughput is
-// dominated by EMPTY pops, in both the paper and here).
-#include "bench_common.hpp"
+// fig3_push_pop_only — legacy EXP2 driver, now a stub over the `fig3`
+// scenario (src/scenarios.cpp; run `secbench fig3` for the CLI).
+#include "workload/registry.hpp"
 
-namespace sb = sec::bench;
-
-namespace {
-
-struct SeriesRunner {
-    sb::Table& table;
-    const sb::EnvConfig& env;
-    const sec::OpMix& mix;
-
-    template <class S>
-    void operator()(const char* name) const {
-        sb::run_series<S>(table, env, mix, name);
-    }
-};
-
-}  // namespace
-
-int main() {
-    sb::print_preamble("fig3_push_pop_only (EXP2)");
-    sb::EnvConfig env = sb::EnvConfig::load();
-
-    {
-        sb::Table table("fig3_push_only", sb::algorithm_columns());
-        std::fprintf(stderr, "workload push-only\n");
-        sb::for_each_algorithm(SeriesRunner{table, env, sec::kPushOnly});
-        table.print();
-    }
-    {
-        // Prefill proportional to expected pop volume so the window measures
-        // real pops rather than EMPTY returns (the paper's fixed 1000-node
-        // prefill drains within milliseconds; see EXPERIMENTS.md).
-        sb::EnvConfig pop_env = env;
-        const std::size_t volume = static_cast<std::size_t>(
-            25e6 * (static_cast<double>(env.duration_ms) / 1000.0) * 1.3);
-        pop_env.prefill = std::min<std::size_t>(
-            std::max<std::size_t>(env.prefill, volume), 40'000'000);
-        sb::Table table("fig3_pop_only", sb::algorithm_columns());
-        std::fprintf(stderr, "workload pop-only (prefill=%zu)\n", pop_env.prefill);
-        sb::for_each_algorithm(SeriesRunner{table, pop_env, sec::kPopOnly});
-        table.print();
-    }
-    return 0;
-}
+int main() { return sec::bench::run_legacy_scenario("fig3"); }

@@ -1,72 +1,5 @@
-// fig4_aggregators.cpp — EXP3: SEC self-comparison with 1..5 aggregators.
-//
-// Regenerates: Figure 4 (Emerald), Figures 7-8 (IceLake), Figures 11-12
-// (Sapphire): 100%/50%/10% update mixes plus push-only and pop-only.
-// Expected shape (paper §6): one aggregator concentrates freezing/combining
-// overhead and loses at high thread counts on update-heavy loads; 2-4
-// aggregators are the sweet spot at 100% updates; push-only prefers more
-// aggregators (no elimination to lose); five aggregators spread threads too
-// thin for elimination on mixed loads.
-#include "bench_common.hpp"
+// fig4_aggregators — legacy EXP3 driver, now a stub over the `fig4`
+// scenario (src/scenarios.cpp; run `secbench fig4` for the CLI).
+#include "workload/registry.hpp"
 
-namespace sb = sec::bench;
-
-namespace {
-
-void run_agg_series(sb::Table& table, const sb::EnvConfig& env, const sec::OpMix& mix) {
-    for (std::size_t aggs = 1; aggs <= 5; ++aggs) {
-        const std::string column = "SEC_Agg" + std::to_string(aggs);
-        for (unsigned t : env.threads) {
-            sb::RunConfig cfg;
-            cfg.threads = t;
-            cfg.duration = std::chrono::milliseconds(env.duration_ms);
-            cfg.prefill = env.prefill;
-            cfg.mix = mix;
-            cfg.value_range = env.value_range;
-            cfg.runs = env.runs;
-            const sb::RunResult r = sb::run_throughput(
-                [aggs, t] { return sb::make_sec_agg(aggs, t); }, cfg);
-            table.add(t, column, r.mops);
-            std::fprintf(stderr, "  %-10s t=%-4u %8.2f Mops/s\n", column.c_str(), t,
-                         r.mops);
-        }
-    }
-}
-
-}  // namespace
-
-int main() {
-    sb::print_preamble("fig4_aggregators (EXP3)");
-    sb::EnvConfig env = sb::EnvConfig::load();
-
-    std::vector<std::string> columns;
-    for (int a = 1; a <= 5; ++a) columns.push_back("SEC_Agg" + std::to_string(a));
-
-    for (const sec::OpMix& mix : sec::kStandardMixes) {
-        sb::Table table(std::string("fig4_") + std::string(mix.name), columns);
-        std::fprintf(stderr, "workload %s\n", mix.name.data());
-        run_agg_series(table, env, mix);
-        table.print();
-    }
-    {
-        sb::Table table("fig4_push_only", columns);
-        std::fprintf(stderr, "workload push-only\n");
-        run_agg_series(table, env, sec::kPushOnly);
-        table.print();
-    }
-    {
-        // Prefill proportional to expected pop volume so the window measures
-        // real pops rather than EMPTY returns (the paper's fixed 1000-node
-        // prefill drains within milliseconds; see EXPERIMENTS.md).
-        sb::EnvConfig pop_env = env;
-        const std::size_t volume = static_cast<std::size_t>(
-            25e6 * (static_cast<double>(env.duration_ms) / 1000.0) * 1.3);
-        pop_env.prefill = std::min<std::size_t>(
-            std::max<std::size_t>(env.prefill, volume), 40'000'000);
-        sb::Table table("fig4_pop_only", columns);
-        std::fprintf(stderr, "workload pop-only\n");
-        run_agg_series(table, pop_env, sec::kPopOnly);
-        table.print();
-    }
-    return 0;
-}
+int main() { return sec::bench::run_legacy_scenario("fig4"); }

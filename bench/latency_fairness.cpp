@@ -1,93 +1,5 @@
-// latency_fairness.cpp — per-operation latency percentiles, all six stacks.
-//
-// Backs the paper's §1 claim that SEC "achieves better throughput without
-// impacting the performance of operations disproportionately": combining
-// designs can starve individual operations (one waiter stuck behind a long
-// combiner stint) even with good aggregate throughput. This bench runs the
-// update-heavy mix and reports mean / p50 / p99 / p999 per-op latency so
-// the tail behaviour of each design is visible next to its throughput.
-#include <barrier>
-#include <chrono>
-#include <cstdio>
-#include <thread>
-#include <vector>
+// latency_fairness — legacy per-op latency driver, now a stub over the
+// `latency` scenario (src/scenarios.cpp; run `secbench latency` for the CLI).
+#include "workload/registry.hpp"
 
-#include "bench_common.hpp"
-#include "workload/histogram.hpp"
-
-namespace sb = sec::bench;
-
-namespace {
-
-template <class S>
-void run_latency(const sb::EnvConfig& env, unsigned threads, const char* name) {
-    auto stack = sec::make_stack<S>(sb::tid_bound(threads));
-    std::atomic<bool> stop{false};
-    std::vector<sec::CacheAligned<sb::LatencyHistogram>> hists(threads);
-    std::barrier sync(static_cast<std::ptrdiff_t>(threads) + 1);
-
-    std::vector<std::thread> workers;
-    for (unsigned t = 0; t < threads; ++t) {
-        workers.emplace_back([&, t] {
-            sec::Xoshiro256 rng(0xFEED ^ (t * 0x9E3779B97F4A7C15ull));
-            for (std::size_t i = 0; i < env.prefill / threads; ++i) {
-                stack->push(rng.next_below(env.value_range));
-            }
-            sync.arrive_and_wait();
-            auto& hist = *hists[t];
-            while (!stop.load(std::memory_order_relaxed)) {
-                const bool is_push = rng.next_below(2) == 0;
-                const auto t0 = std::chrono::steady_clock::now();
-                if (is_push) {
-                    stack->push(rng.next_below(env.value_range));
-                } else {
-                    (void)stack->pop();
-                }
-                const auto t1 = std::chrono::steady_clock::now();
-                hist.record(static_cast<std::uint64_t>(
-                    std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                        .count()));
-            }
-        });
-    }
-    sync.arrive_and_wait();
-    std::this_thread::sleep_for(std::chrono::milliseconds(env.duration_ms));
-    stop.store(true, std::memory_order_relaxed);
-    for (auto& w : workers) w.join();
-
-    sb::LatencyHistogram merged;
-    for (const auto& h : hists) merged.merge_from(*h);
-    std::printf("%-6s t=%-4u ops=%-10llu mean=%8.0fns p50=%8lluns p99=%8lluns "
-                "p999=%9lluns\n",
-                name, threads, static_cast<unsigned long long>(merged.total()),
-                merged.mean_ns(),
-                static_cast<unsigned long long>(merged.quantile_ns(0.50)),
-                static_cast<unsigned long long>(merged.quantile_ns(0.99)),
-                static_cast<unsigned long long>(merged.quantile_ns(0.999)));
-    std::printf("CSV,latency_upd100,%s,%u,%.0f,%llu,%llu,%llu\n", name, threads,
-                merged.mean_ns(),
-                static_cast<unsigned long long>(merged.quantile_ns(0.50)),
-                static_cast<unsigned long long>(merged.quantile_ns(0.99)),
-                static_cast<unsigned long long>(merged.quantile_ns(0.999)));
-}
-
-struct LatencyRunner {
-    const sb::EnvConfig& env;
-    unsigned threads;
-    template <class S>
-    void operator()(const char* name) const {
-        run_latency<S>(env, threads, name);
-    }
-};
-
-}  // namespace
-
-int main() {
-    sb::print_preamble("latency_fairness (supports paper §1 latency claim)");
-    const sb::EnvConfig env = sb::EnvConfig::load();
-    std::printf("# columns: mean, p50, p99, p999 per-op latency, upd100 mix\n");
-    for (unsigned t : env.threads) {
-        sb::for_each_algorithm(LatencyRunner{env, t});
-    }
-    return 0;
-}
+int main() { return sec::bench::run_legacy_scenario("latency"); }

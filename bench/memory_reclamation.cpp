@@ -1,95 +1,5 @@
-// memory_reclamation.cpp — reclamation behaviour under churn (paper §4).
-//
-// The paper integrates DEBRA and describes exactly when SEC retires nodes
-// and batches. This bench makes the reclamation pipeline observable: after
-// a fixed balanced churn on each EBR-using stack, it reports how much was
-// retired, how much the amortised epoch advancement already freed, and the
-// limbo backlog — demonstrating that grace-period reclamation keeps memory
-// bounded (frees keep pace with retires) rather than deferring everything
-// to destruction.
-#include <cstdio>
-#include <thread>
-#include <vector>
+// memory_reclamation — legacy EBR-accounting driver, now a stub over the
+// `reclamation` scenario (src/scenarios.cpp; run `secbench reclamation`).
+#include "workload/registry.hpp"
 
-#include "bench_common.hpp"
-
-namespace sb = sec::bench;
-
-namespace {
-
-struct Churn {
-    std::uint64_t retired;
-    std::uint64_t freed;
-    std::uint64_t limbo;
-};
-
-template <class S>
-Churn churn_with_domain(unsigned threads, std::uint32_t ops_per_thread) {
-    sec::ebr::Domain domain;
-    Churn result{};
-    {
-        auto stack = [&domain, threads]() {
-            if constexpr (std::is_same_v<S, sec::SecStack<sb::Value>>) {
-                sec::Config cfg;
-                cfg.max_threads = sb::tid_bound(threads);
-                return std::make_unique<S>(cfg, domain);
-            } else {
-                return std::make_unique<S>(sb::tid_bound(threads), domain);
-            }
-        }();
-
-        std::vector<std::thread> workers;
-        for (unsigned t = 0; t < threads; ++t) {
-            workers.emplace_back([&, t] {
-                sec::Xoshiro256 rng(t * 0x9E3779B97F4A7C15ull + 1);
-                for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
-                    if (rng.next_below(2) == 0) {
-                        stack->push(rng.next());
-                    } else {
-                        (void)stack->pop();
-                    }
-                }
-            });
-        }
-        for (auto& w : workers) w.join();
-        // Snapshot BEFORE destruction: what the amortised path achieved.
-        result = {domain.retired_count(), domain.freed_count(), domain.in_limbo()};
-    }
-    return result;
-}
-
-template <class S>
-void report(const char* name, unsigned threads, std::uint32_t ops) {
-    const Churn c = churn_with_domain<S>(threads, ops);
-    const double freed_pct =
-        c.retired ? 100.0 * static_cast<double>(c.freed) / static_cast<double>(c.retired)
-                  : 100.0;
-    std::printf("%-6s t=%-3u retired=%-10llu freed-by-epochs=%-10llu (%5.1f%%) "
-                "limbo-at-quiesce=%llu\n",
-                name, threads, static_cast<unsigned long long>(c.retired),
-                static_cast<unsigned long long>(c.freed), freed_pct,
-                static_cast<unsigned long long>(c.limbo));
-    std::printf("CSV,reclamation,%s,%u,%llu,%llu,%llu\n", name, threads,
-                static_cast<unsigned long long>(c.retired),
-                static_cast<unsigned long long>(c.freed),
-                static_cast<unsigned long long>(c.limbo));
-}
-
-}  // namespace
-
-int main() {
-    sb::print_preamble("memory_reclamation (paper section 4)");
-    const sb::EnvConfig env = sb::EnvConfig::load();
-    const std::uint32_t ops =
-        static_cast<std::uint32_t>(env.duration_ms * 2000);  // scale with budget
-
-    std::printf("# balanced push/pop churn; 'freed-by-epochs' is reclamation that\n"
-                "# happened DURING the run via amortised epoch advancement\n");
-    for (unsigned t : {4u, 16u}) {
-        report<sec::SecStack<sb::Value>>("SEC", t, ops);
-        report<sec::TreiberStack<sb::Value>>("TRB", t, ops);
-        report<sec::EbStack<sb::Value>>("EB", t, ops);
-        report<sec::TsiStack<sb::Value>>("TSI", t, ops);
-    }
-    return 0;
-}
+int main() { return sec::bench::run_legacy_scenario("reclamation"); }

@@ -1,0 +1,197 @@
+// secbench.cpp — the unified scenario driver: every experiment the ten
+// per-figure binaries used to hard-code, behind one CLI over the algorithm
+// and scenario registries (workload/registry.hpp).
+//
+//   secbench --list
+//   secbench fig2 --algos SEC,TRB --threads 1,4,16 --csv out.csv
+//   secbench all --smoke
+//
+// Defaults layer over EnvConfig, so the SEC_BENCH_* environment knobs (and
+// SEC_BENCH_PAPER=1) keep working; explicit flags win over the environment.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/registry.hpp"
+
+namespace sb = sec::bench;
+
+namespace {
+
+int usage(std::FILE* out) {
+    std::fprintf(out,
+                 "usage:\n"
+                 "  secbench --list\n"
+                 "  secbench <scenario>... [options]\n"
+                 "  secbench all [options]\n"
+                 "options:\n"
+                 "  --algos A,B,...    algorithm selection (default: the six "
+                 "paper competitors)\n"
+                 "  --threads 1,4,16   thread grid override\n"
+                 "  --duration-ms N    measured window per data point\n"
+                 "  --runs N           repetitions per data point\n"
+                 "  --prefill N        nodes pushed before the window opens\n"
+                 "  --value-range N    value universe for pushes\n"
+                 "  --csv PATH         also write table,threads,column,value "
+                 "rows to PATH\n"
+                 "  --smoke            tiny smoke preset (25 ms, 2 threads, 1 "
+                 "run)\n"
+                 "  --paper            the paper's 5 s x 5-run methodology\n"
+                 "environment: SEC_BENCH_DURATION_MS / _RUNS / _THREADS / "
+                 "_PREFILL / _VALUE_RANGE / _PAPER\n");
+    return out == stderr ? 2 : 0;
+}
+
+int list_registries() {
+    std::printf("scenarios:\n");
+    for (const sb::ScenarioSpec* s : sb::ScenarioRegistry::instance().all()) {
+        std::printf("  %-18s %s\n", s->name.c_str(), s->title.c_str());
+    }
+    std::printf("algorithms:\n");
+    for (const sb::AlgoSpec* a : sb::AlgorithmRegistry::instance().all()) {
+        std::printf("  %-18s %s%s\n", a->name.c_str(), a->description.c_str(),
+                     a->default_set ? "" : " [extra]");
+    }
+    return 0;
+}
+
+std::vector<std::string> split_csv(const char* arg) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char* p = arg; ; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty()) out.push_back(cur);
+            cur.clear();
+            if (*p == '\0') break;
+        } else if (*p != ' ') {
+            cur += *p;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> scenarios;
+    std::vector<std::string> algo_names;
+    const char* csv_path = nullptr;
+    bool smoke = false;
+    bool run_all = false;
+
+    // Flags that override EnvConfig after it loads (0 / empty = not given).
+    unsigned duration_ms = 0, runs = 0;
+    long long prefill = -1, value_range = -1;
+    std::vector<unsigned> thread_grid;
+
+    auto next_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "secbench: %s needs a value\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+            return usage(stdout);
+        } else if (std::strcmp(arg, "--list") == 0) {
+            return list_registries();
+        } else if (std::strcmp(arg, "--algos") == 0) {
+            algo_names = split_csv(next_value(i, arg));
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            for (const std::string& s : split_csv(next_value(i, arg))) {
+                const unsigned long v = std::strtoul(s.c_str(), nullptr, 10);
+                if (v > 0) thread_grid.push_back(static_cast<unsigned>(v));
+            }
+        } else if (std::strcmp(arg, "--duration-ms") == 0) {
+            duration_ms = static_cast<unsigned>(
+                std::strtoul(next_value(i, arg), nullptr, 10));
+        } else if (std::strcmp(arg, "--runs") == 0) {
+            runs = static_cast<unsigned>(
+                std::strtoul(next_value(i, arg), nullptr, 10));
+        } else if (std::strcmp(arg, "--prefill") == 0) {
+            prefill = std::strtoll(next_value(i, arg), nullptr, 10);
+        } else if (std::strcmp(arg, "--value-range") == 0) {
+            value_range = std::strtoll(next_value(i, arg), nullptr, 10);
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            csv_path = next_value(i, arg);
+        } else if (std::strcmp(arg, "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(arg, "--paper") == 0) {
+            setenv("SEC_BENCH_PAPER", "1", 1);
+        } else if (std::strcmp(arg, "all") == 0) {
+            run_all = true;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "secbench: unknown option '%s'\n", arg);
+            return usage(stderr);
+        } else {
+            scenarios.push_back(arg);
+        }
+    }
+    if (!run_all && scenarios.empty()) return usage(stderr);
+
+    sb::ScenarioContext ctx;
+    ctx.env = sb::EnvConfig::load();
+    ctx.smoke = smoke;
+    if (smoke) {
+        // Tiny budget: every scenario exercised, nothing measured seriously.
+        ctx.env.duration_ms = 25;
+        ctx.env.runs = 1;
+        ctx.env.threads = {2};
+        ctx.env.prefill = std::min<std::size_t>(ctx.env.prefill, 1000);
+    }
+    if (duration_ms > 0) ctx.env.duration_ms = duration_ms;
+    if (runs > 0) ctx.env.runs = runs;
+    if (prefill >= 0) ctx.env.prefill = static_cast<std::size_t>(prefill);
+    if (value_range > 0) {
+        ctx.env.value_range = static_cast<std::size_t>(value_range);
+    }
+    if (!thread_grid.empty()) ctx.env.threads = thread_grid;
+
+    auto& algo_reg = sb::AlgorithmRegistry::instance();
+    if (algo_names.empty()) {
+        ctx.algos = algo_reg.default_set();
+    } else {
+        for (const std::string& name : algo_names) {
+            const sb::AlgoSpec* spec = algo_reg.find(name);
+            if (spec == nullptr) {
+                std::fprintf(stderr,
+                             "secbench: unknown algorithm '%s'; available: %s\n",
+                             name.c_str(), algo_reg.names_csv().c_str());
+                return 2;
+            }
+            ctx.algos.push_back(spec);
+        }
+    }
+
+    std::FILE* csv = nullptr;
+    if (csv_path != nullptr) {
+        csv = std::fopen(csv_path, "w");
+        if (csv == nullptr) {
+            std::fprintf(stderr, "secbench: cannot open '%s' for writing\n",
+                         csv_path);
+            return 2;
+        }
+        sb::Table::write_csv_header(csv);
+        ctx.csv = csv;
+    }
+
+    if (run_all) {
+        scenarios.clear();
+        for (const sb::ScenarioSpec* s : sb::ScenarioRegistry::instance().all()) {
+            scenarios.push_back(s->name);
+        }
+    }
+
+    int rc = 0;
+    for (const std::string& name : scenarios) {
+        const int one = sb::run_scenario(name, ctx);
+        if (one != 0 && rc == 0) rc = one;
+    }
+    if (csv != nullptr) std::fclose(csv);
+    return rc;
+}

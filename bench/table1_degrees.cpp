@@ -1,94 +1,5 @@
-// table1_degrees.cpp — EXP4: SEC batching/elimination/combining degrees.
-//
-// Regenerates: Table 1 (Emerald), Table 2 (IceLake), Table 3 (Sapphire):
-// for each update rate (100%/50%/10%), the average batch size, the percent
-// of batched operations eliminated, and the percent applied by combiners,
-// averaged across the thread grid exactly as the paper reports ("average
-// size of batches ... across different thread counts").
-//
-// Expected shape (paper §C): batching degree grows with the update rate;
-// %elimination sits in the 70-85% band for balanced mixes and dominates
-// %combining.
-#include <cstdio>
+// table1_degrees — legacy EXP4 driver, now a stub over the `table1`
+// scenario (src/scenarios.cpp; run `secbench table1` for the CLI).
+#include "workload/registry.hpp"
 
-#include "bench_common.hpp"
-
-namespace sb = sec::bench;
-
-namespace {
-
-struct DegreeRow {
-    double batching = 0;
-    double elim_pct = 0;
-    double comb_pct = 0;
-};
-
-DegreeRow measure(const sb::EnvConfig& env, const sec::OpMix& mix) {
-    DegreeRow row;
-    unsigned points = 0;
-    for (unsigned t : env.threads) {
-        sec::Config cfg;
-        cfg.max_threads = sb::tid_bound(t);
-        cfg.collect_stats = true;
-        auto make = [&cfg] { return std::make_unique<sec::SecStack<sb::Value>>(cfg); };
-
-        // Reimplement the timed loop but keep the stack alive to read stats.
-        auto stack = make();
-        sb::RunConfig rcfg;
-        rcfg.threads = t;
-        rcfg.duration = std::chrono::milliseconds(env.duration_ms);
-        rcfg.prefill = env.prefill;
-        rcfg.mix = mix;
-        rcfg.value_range = env.value_range;
-        rcfg.runs = 1;
-        (void)sb::run_throughput([&stack]() -> sec::SecStack<sb::Value>* {
-            return stack.get();
-        }, rcfg);
-
-        const sec::StatsSnapshot s = stack->stats();
-        if (s.batches == 0) continue;
-        row.batching += s.batching_degree();
-        row.elim_pct += s.elimination_pct();
-        row.comb_pct += s.combining_pct();
-        ++points;
-        std::fprintf(stderr, "  %s t=%-4u batch=%.1f elim=%.0f%% comb=%.0f%%\n",
-                     mix.name.data(), t, s.batching_degree(), s.elimination_pct(),
-                     s.combining_pct());
-    }
-    if (points > 0) {
-        row.batching /= points;
-        row.elim_pct /= points;
-        row.comb_pct /= points;
-    }
-    return row;
-}
-
-}  // namespace
-
-int main() {
-    sb::print_preamble("table1_degrees (EXP4)");
-    const sb::EnvConfig env = sb::EnvConfig::load();
-
-    DegreeRow rows[3];
-    int i = 0;
-    for (const sec::OpMix& mix : sec::kStandardMixes) rows[i++] = measure(env, mix);
-
-    std::printf("\n== Table 1: SEC degree metrics ==\n");
-    std::printf("%-18s %10s %10s %10s\n", "Workload ->", "100% upd", "50% upd",
-                "10% upd");
-    std::printf("%-18s %10.1f %10.1f %10.1f\n", "Batching Degree", rows[0].batching,
-                rows[1].batching, rows[2].batching);
-    std::printf("%-18s %9.0f%% %9.0f%% %9.0f%%\n", "%Elimination", rows[0].elim_pct,
-                rows[1].elim_pct, rows[2].elim_pct);
-    std::printf("%-18s %9.0f%% %9.0f%% %9.0f%%\n", "%Combining", rows[0].comb_pct,
-                rows[1].comb_pct, rows[2].comb_pct);
-    for (i = 0; i < 3; ++i) {
-        std::printf("CSV,table1,%s,batching,%.2f\n", sec::kStandardMixes[i].name.data(),
-                    rows[i].batching);
-        std::printf("CSV,table1,%s,elimination_pct,%.2f\n",
-                    sec::kStandardMixes[i].name.data(), rows[i].elim_pct);
-        std::printf("CSV,table1,%s,combining_pct,%.2f\n",
-                    sec::kStandardMixes[i].name.data(), rows[i].comb_pct);
-    }
-    return 0;
-}
+int main() { return sec::bench::run_legacy_scenario("table1"); }

@@ -1,0 +1,115 @@
+// core/stack_concept.hpp — the ConcurrentStack concept every structure in
+// this library models, plus AnyStack, a type-erased handle the registry and
+// the secbench scenario driver work in terms of.
+//
+// AnyStack keeps virtual dispatch OFF the measured hot path: the Model
+// interface erases whole *phases* (prefill / timed mixed loop / fixed-op
+// loop), not individual operations. A worker thread crosses the virtual
+// boundary once per phase and then runs a loop that was instantiated against
+// the concrete stack type (see the phase_* templates in workload/runner.hpp),
+// so push/pop/peek inline exactly as they do in the statically-typed
+// run_throughput path. The per-op virtuals below exist for tests and
+// low-rate use, never for measurement loops.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/config.hpp"
+#include "core/op_mix.hpp"
+
+namespace sec {
+
+namespace bench {
+class LatencyHistogram;  // workload/histogram.hpp
+}
+
+// What a stack must provide to participate in the library: a value type,
+// push (false only on resource exhaustion), and optional-returning pop/peek
+// (nullopt == EMPTY). ElimPool rides along via an adapter whose peek always
+// returns nullopt.
+template <class S>
+concept ConcurrentStack =
+    requires(S s, const typename S::value_type v) {
+        typename S::value_type;
+        { s.push(v) } -> std::convertible_to<bool>;
+        { s.pop() } -> std::same_as<std::optional<typename S::value_type>>;
+        { s.peek() } -> std::same_as<std::optional<typename S::value_type>>;
+    };
+
+// Per-worker inputs of one phase. Each phase seeds its own PRNG so phases
+// are independently reproducible and reorderable across scenarios.
+struct PhaseArgs {
+    std::uint64_t seed = 1;
+    std::size_t value_range = std::size_t{1} << 20;
+    OpMix mix = kUpdateHeavy;
+};
+
+class AnyStack {
+public:
+    // Every erased stack trades in 64-bit values (what the harness pushes).
+    using value_type = std::uint64_t;
+
+    class Model {
+    public:
+        virtual ~Model() = default;
+
+        // Per-op entry points (tests / setup / teardown — not measurement).
+        virtual bool push(value_type v) = 0;
+        virtual std::optional<value_type> pop() = 0;
+        virtual std::optional<value_type> peek() = 0;
+
+        // Phase entry points: one virtual call, then a concrete-typed loop.
+        virtual void prefill(std::size_t count, const PhaseArgs& args) = 0;
+        virtual std::uint64_t mixed_until(const std::atomic<bool>& stop,
+                                          const PhaseArgs& args) = 0;
+        virtual std::uint64_t mixed_ops(std::uint64_t count,
+                                        const PhaseArgs& args) = 0;
+        virtual std::uint64_t timed_until(const std::atomic<bool>& stop,
+                                          const PhaseArgs& args,
+                                          bench::LatencyHistogram& hist) = 0;
+
+        // Degree counters when the concrete type maintains them (SecStack,
+        // ElimPool with Config::collect_stats).
+        virtual bool has_stats() const { return false; }
+        virtual StatsSnapshot stats() const { return {}; }
+    };
+
+    AnyStack() = default;
+    explicit AnyStack(std::unique_ptr<Model> model) : model_(std::move(model)) {}
+
+    explicit operator bool() const noexcept { return model_ != nullptr; }
+
+    bool push(value_type v) { return model_->push(v); }
+    std::optional<value_type> pop() { return model_->pop(); }
+    std::optional<value_type> peek() { return model_->peek(); }
+
+    void prefill(std::size_t count, const PhaseArgs& args) {
+        model_->prefill(count, args);
+    }
+    std::uint64_t mixed_until(const std::atomic<bool>& stop,
+                              const PhaseArgs& args) {
+        return model_->mixed_until(stop, args);
+    }
+    std::uint64_t mixed_ops(std::uint64_t count, const PhaseArgs& args) {
+        return model_->mixed_ops(count, args);
+    }
+    std::uint64_t timed_until(const std::atomic<bool>& stop,
+                              const PhaseArgs& args,
+                              bench::LatencyHistogram& hist) {
+        return model_->timed_until(stop, args, hist);
+    }
+
+    bool has_stats() const { return model_->has_stats(); }
+    StatsSnapshot stats() const { return model_->stats(); }
+
+private:
+    std::unique_ptr<Model> model_;
+};
+
+}  // namespace sec

@@ -1,0 +1,35 @@
+// workload/any_runner.hpp — the timed-window / latency / churn runners over
+// the type-erased AnyStack. These mirror run_throughput (workload/runner.hpp)
+// but take registry factories, so scenarios drive any registered algorithm
+// without a template instantiation per call site. Virtual dispatch is per
+// phase (see core/stack_concept.hpp), so the measured loops are identical to
+// the statically-typed path.
+#pragma once
+
+#include <functional>
+
+#include "core/stack_concept.hpp"
+#include "workload/histogram.hpp"
+#include "workload/runner.hpp"
+
+namespace sec::bench {
+
+using AnyStackFactory = std::function<AnyStack()>;
+
+// Fresh structure per run (the usual throughput measurement).
+RunResult run_throughput_any(const AnyStackFactory& make, const RunConfig& cfg);
+
+// Caller-owned structure, kept alive across runs (e.g. to read degree stats
+// afterwards — table1 / ablation scenarios).
+RunResult run_throughput_any(AnyStack& stack, const RunConfig& cfg);
+
+// Per-op latency over cfg.duration with a 50/50 push/pop mix unless cfg.mix
+// says otherwise; returns the merged histogram (cfg.runs is ignored).
+LatencyHistogram run_latency_any(AnyStack& stack, const RunConfig& cfg);
+
+// Fixed-op balanced churn: `threads` workers each run `ops_per_thread`
+// operations of cfg.mix, then join (the reclamation scenario's workload).
+void run_churn_any(AnyStack& stack, unsigned threads,
+                   std::uint64_t ops_per_thread, std::size_t value_range);
+
+}  // namespace sec::bench

@@ -27,7 +27,10 @@ struct EnvConfig {
 };
 
 // Banner on stderr: bench name, hardware, and the effective EnvConfig, so
-// every result log is self-describing.
+// every result log is self-describing. The one-argument form reloads the
+// config from the environment; pass the effective config when CLI flags
+// have overridden it (secbench).
 void print_preamble(std::string_view bench_name);
+void print_preamble(std::string_view bench_name, const EnvConfig& cfg);
 
 }  // namespace sec::bench

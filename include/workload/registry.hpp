@@ -1,0 +1,153 @@
+// workload/registry.hpp — algorithms and scenarios as data.
+//
+// AlgorithmRegistry maps a legend name ("SEC", "TRB", ...) to a factory
+// producing a type-erased AnyStack from {threads, optional Config, optional
+// EBR domain}. ScenarioRegistry maps a scenario name ("fig2", "latency",
+// ...) to a ~30-line function that composes the shared Table/CSV/selection
+// pipeline in ScenarioContext. The secbench CLI and the legacy per-figure
+// stub binaries are both thin layers over these two registries; adding an
+// algorithm or an experiment means one registration, not ten edited drivers.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/config.hpp"
+#include "core/op_mix.hpp"
+#include "core/stack_concept.hpp"
+#include "workload/env.hpp"
+#include "workload/reporter.hpp"
+#include "workload/runner.hpp"
+
+namespace sec::ebr {
+class Domain;
+}
+
+namespace sec::bench {
+
+using Value = std::uint64_t;
+
+// Thread-bound passed to stack constructors: the N workers plus the main
+// thread (and a little slack for gtest-style environments).
+inline std::size_t tid_bound(unsigned threads) {
+    return std::min<std::size_t>(kMaxThreads, threads + 8);
+}
+
+// Everything an algorithm factory may need for one run. `config` overrides
+// the default sec::Config for Config-built structures (SEC, POOL) and is
+// ignored by the others; `domain` plugs in an external reclamation domain
+// where the structure supports one (AlgoSpec::supports_domain).
+struct StackParams {
+    unsigned threads = 1;
+    const Config* config = nullptr;
+    ebr::Domain* domain = nullptr;
+};
+
+struct AlgoSpec {
+    std::string name;         // legend name, also the Table column
+    std::string description;  // one-liner for `secbench --list`
+    int legend_rank = 0;      // paper legend order (Fig. 2)
+    bool default_set = false;  // one of the six Figure-2 competitors
+    bool supports_domain = false;
+    std::function<AnyStack(const StackParams&)> make;
+};
+
+class AlgorithmRegistry {
+public:
+    static AlgorithmRegistry& instance();
+
+    // Open for extension: out-of-tree structures register here too. Specs
+    // are stored behind stable pointers, so AlgoSpec* handed out earlier
+    // survives later registrations.
+    void add(AlgoSpec spec);
+
+    const AlgoSpec* find(std::string_view name) const;
+    // All registered algorithms / the six-competitor default set, both in
+    // legend order.
+    std::vector<const AlgoSpec*> all() const;
+    std::vector<const AlgoSpec*> default_set() const;
+    std::string names_csv() const;  // "CC, EB, ..." for error messages
+
+private:
+    AlgorithmRegistry();
+    std::vector<std::unique_ptr<AlgoSpec>> specs_;
+};
+
+// The six competitors of Figure 2/3 as Table columns, legend order —
+// derived from the registry, not a hand-kept list.
+inline std::vector<std::string> algorithm_columns() {
+    std::vector<std::string> columns;
+    for (const AlgoSpec* a : AlgorithmRegistry::instance().default_set()) {
+        columns.push_back(a->name);
+    }
+    return columns;
+}
+
+// Shared per-scenario state plus the Table/CSV/selection pipeline every
+// scenario composes.
+struct ScenarioContext {
+    EnvConfig env;
+    std::vector<const AlgoSpec*> algos;  // selection, legend order
+    std::FILE* csv = nullptr;            // optional CSV sink (secbench --csv)
+    bool smoke = false;                  // tiny-budget mode (secbench --smoke)
+
+    // Column names of the selected algorithms.
+    std::vector<std::string> columns() const;
+    // RunConfig for one grid point from `e` (defaults to this->env).
+    RunConfig run_config(unsigned threads, const OpMix& mix) const;
+    RunConfig run_config(unsigned threads, const OpMix& mix,
+                         const EnvConfig& e) const;
+    // Sweep the thread grid of `e` for one algorithm into `table`.
+    void series(Table& table, const AlgoSpec& algo, const OpMix& mix) const;
+    void series(Table& table, const AlgoSpec& algo, const OpMix& mix,
+                const EnvConfig& e) const;
+    // Print the table and append its rows to the CSV sink, if any.
+    void emit(const Table& table) const;
+    // One `table,key,column,value` row to the CSV sink (no-op without one) —
+    // the file-sink path for scenarios whose results aren't a Table
+    // (table1 / latency / reclamation / micro).
+    void csv_row(std::string_view table, std::string_view key,
+                 std::string_view column, double value) const;
+};
+
+struct ScenarioSpec {
+    std::string name;   // CLI name, e.g. "fig2"
+    std::string title;  // one-liner for `secbench --list`
+    std::function<int(const ScenarioContext&)> run;
+};
+
+class ScenarioRegistry {
+public:
+    static ScenarioRegistry& instance();
+    // Stable-pointer storage, same contract as AlgorithmRegistry::add.
+    void add(ScenarioSpec spec);
+    const ScenarioSpec* find(std::string_view name) const;
+    std::vector<const ScenarioSpec*> all() const;
+
+private:
+    ScenarioRegistry();
+    std::vector<std::unique_ptr<ScenarioSpec>> specs_;
+};
+
+// Run one registered scenario (preamble + body). Returns the scenario's
+// exit code, or 2 for an unknown name (after listing the available set).
+int run_scenario(std::string_view name, const ScenarioContext& ctx);
+
+// What the legacy per-figure stub binaries call: EnvConfig::load() + the
+// default algorithm set, no CSV sink.
+int run_legacy_scenario(std::string_view name);
+
+namespace detail {
+// Defined in src/scenarios.cpp; called once from ScenarioRegistry's
+// constructor so the scenario translation unit is linked into consumers of
+// the registry (static-library registration would otherwise be dropped).
+void register_builtin_scenarios(ScenarioRegistry& reg);
+}  // namespace detail
+
+}  // namespace sec::bench

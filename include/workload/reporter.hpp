@@ -1,7 +1,10 @@
 // workload/reporter.hpp — result table: human-aligned on stdout plus
-// machine-greppable CSV lines (`CSV,<table>,<threads>,<column>,<value>`).
+// machine-greppable CSV lines (`CSV,<table>,<threads>,<column>,<value>`),
+// with an optional file sink (`secbench --csv`) that gets headerful
+// `table,key,column,value` rows instead.
 #pragma once
 
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,6 +18,11 @@ public:
     void add(unsigned threads, std::string_view column, double value);
     void print() const;
 
+    // Append this table's cells to `out` as `table,key,column,value` rows,
+    // key = thread count (write_csv_header first, once per file).
+    void write_csv(std::FILE* out) const;
+    static void write_csv_header(std::FILE* out);
+
     const std::string& name() const noexcept { return name_; }
 
 private:
@@ -23,5 +31,9 @@ private:
     // threads -> column -> Mops (ordered so rows print in grid order).
     std::map<unsigned, std::map<std::string, double, std::less<>>> rows_;
 };
+
+// The stderr progress line every series prints while a table fills
+// (previously duplicated across the per-figure drivers).
+void progress_line(std::string_view column, unsigned threads, double mops);
 
 }  // namespace sec::bench

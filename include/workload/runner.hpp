@@ -1,6 +1,18 @@
 // workload/runner.hpp — the timed-window throughput harness every bench
-// shares: prefill, barrier, fixed measurement window, per-thread padded op
-// counters, mean across runs.
+// shares, split into reusable phases:
+//
+//   phase_prefill      load a worker's share of the initial population
+//   phase_mixed_until  the measured mixed-op loop (runs until `stop`)
+//   phase_mixed_ops    a fixed-op-count mixed loop (churn / micro timing)
+//   phase_timed_until  the mixed loop with per-op latency recording
+//
+// Scenarios compose phases (e.g. a pop-only drain after a push-only fill)
+// instead of re-writing the monolithic worker lambda. The same templates
+// back both the statically-typed run_throughput below and the type-erased
+// AnyStack path (StackModel): the hot loop is instantiated against the
+// concrete stack type either way, so the erased path pays virtual dispatch
+// only at phase boundaries — never per op. `secbench micro` measures the
+// two paths side by side to keep that property honest.
 #pragma once
 
 #include <atomic>
@@ -12,10 +24,16 @@
 
 #include "core/common.hpp"
 #include "core/op_mix.hpp"
+#include "core/stack_concept.hpp"
+#include "workload/histogram.hpp"
 
 namespace sec::bench {
 
 struct RunConfig {
+    // Worker count. Precondition: threads >= 1 — the harness divides the
+    // prefill across workers and has no one to run it (or the measured
+    // window) otherwise. run_throughput returns an all-zero RunResult for
+    // threads == 0 instead of dividing by zero.
     unsigned threads = 1;
     std::chrono::milliseconds duration{200};
     std::size_t prefill = 0;
@@ -29,11 +47,176 @@ struct RunResult {
     std::uint64_t total_ops = 0;  // summed across runs
 };
 
+// This worker's slice of a prefill divided across `threads` workers
+// (worker 0 absorbs the remainder).
+inline std::size_t prefill_share(std::size_t prefill, unsigned threads,
+                                 unsigned t) {
+    std::size_t share = prefill / threads;
+    if (t == 0) share += prefill % threads;
+    return share;
+}
+
+// ---- the phases ------------------------------------------------------------
+
+template <ConcurrentStack S>
+void phase_prefill(S& stack, std::size_t count, const PhaseArgs& args) {
+    Xoshiro256 rng(args.seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        stack.push(static_cast<typename S::value_type>(
+            rng.next_below(args.value_range)));
+    }
+}
+
+template <ConcurrentStack S>
+std::uint64_t phase_mixed_until(S& stack, const std::atomic<bool>& stop,
+                                const PhaseArgs& args) {
+    Xoshiro256 rng(args.seed);
+    const unsigned push_cut = args.mix.push_pct;
+    const unsigned pop_cut = args.mix.update_pct();
+    std::uint64_t local = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t r = rng.next_below(100);
+        if (r < push_cut) {
+            stack.push(static_cast<typename S::value_type>(
+                rng.next_below(args.value_range)));
+        } else if (r < pop_cut) {
+            (void)stack.pop();
+        } else {
+            (void)stack.peek();
+        }
+        ++local;
+    }
+    return local;
+}
+
+template <ConcurrentStack S>
+std::uint64_t phase_mixed_ops(S& stack, std::uint64_t count,
+                              const PhaseArgs& args) {
+    Xoshiro256 rng(args.seed);
+    const unsigned push_cut = args.mix.push_pct;
+    const unsigned pop_cut = args.mix.update_pct();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t r = rng.next_below(100);
+        if (r < push_cut) {
+            stack.push(static_cast<typename S::value_type>(
+                rng.next_below(args.value_range)));
+        } else if (r < pop_cut) {
+            (void)stack.pop();
+        } else {
+            (void)stack.peek();
+        }
+    }
+    return count;
+}
+
+template <ConcurrentStack S>
+std::uint64_t phase_timed_until(S& stack, const std::atomic<bool>& stop,
+                                const PhaseArgs& args, LatencyHistogram& hist) {
+    Xoshiro256 rng(args.seed);
+    const unsigned push_cut = args.mix.push_pct;
+    const unsigned pop_cut = args.mix.update_pct();
+    std::uint64_t local = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t r = rng.next_below(100);
+        const auto t0 = std::chrono::steady_clock::now();
+        if (r < push_cut) {
+            stack.push(static_cast<typename S::value_type>(
+                rng.next_below(args.value_range)));
+        } else if (r < pop_cut) {
+            (void)stack.pop();
+        } else {
+            (void)stack.peek();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        hist.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        ++local;
+    }
+    return local;
+}
+
+// ---- type erasure over the phases ------------------------------------------
+
+// AnyStack::Model for a concrete stack type: per-op calls forward, phase
+// calls drop straight into the templates above with S statically known.
+template <ConcurrentStack S>
+class StackModel final : public AnyStack::Model {
+public:
+    explicit StackModel(std::unique_ptr<S> stack) : stack_(std::move(stack)) {}
+
+    bool push(AnyStack::value_type v) override {
+        return stack_->push(static_cast<typename S::value_type>(v));
+    }
+    std::optional<AnyStack::value_type> pop() override {
+        if (auto v = stack_->pop()) {
+            return static_cast<AnyStack::value_type>(*v);
+        }
+        return std::nullopt;
+    }
+    std::optional<AnyStack::value_type> peek() override {
+        if (auto v = stack_->peek()) {
+            return static_cast<AnyStack::value_type>(*v);
+        }
+        return std::nullopt;
+    }
+
+    void prefill(std::size_t count, const PhaseArgs& args) override {
+        phase_prefill(*stack_, count, args);
+    }
+    std::uint64_t mixed_until(const std::atomic<bool>& stop,
+                              const PhaseArgs& args) override {
+        return phase_mixed_until(*stack_, stop, args);
+    }
+    std::uint64_t mixed_ops(std::uint64_t count,
+                            const PhaseArgs& args) override {
+        return phase_mixed_ops(*stack_, count, args);
+    }
+    std::uint64_t timed_until(const std::atomic<bool>& stop,
+                              const PhaseArgs& args,
+                              LatencyHistogram& hist) override {
+        return phase_timed_until(*stack_, stop, args, hist);
+    }
+
+    bool has_stats() const override {
+        return requires(const S& s) {
+            { s.stats() } -> std::same_as<StatsSnapshot>;
+        };
+    }
+    StatsSnapshot stats() const override {
+        if constexpr (requires(const S& s) {
+                          { s.stats() } -> std::same_as<StatsSnapshot>;
+                      }) {
+            return stack_->stats();
+        } else {
+            return {};
+        }
+    }
+
+private:
+    std::unique_ptr<S> stack_;
+};
+
+template <ConcurrentStack S>
+AnyStack erase_stack(std::unique_ptr<S> stack) {
+    return AnyStack(std::make_unique<StackModel<S>>(std::move(stack)));
+}
+
+// Per-worker phase seed: distinct per (worker, run) and distinct between the
+// prefill and the measured phase of the same worker.
+inline std::uint64_t phase_seed(unsigned t, unsigned run,
+                                std::uint64_t salt = 0) {
+    return (t + 1) * 0x9E3779B97F4A7C15ull + run + (salt << 32);
+}
+
+// ---- the statically-typed timed-window runner ------------------------------
+
 // `make()` may return a smart pointer (fresh structure per run) or a raw
 // pointer (caller keeps the structure alive, e.g. to read stats afterwards).
 template <class Factory>
 RunResult run_throughput(Factory&& make, const RunConfig& cfg) {
     RunResult result;
+    if (cfg.threads == 0) return result;  // see RunConfig::threads
     for (unsigned run = 0; run < cfg.runs; ++run) {
         auto holder = make();
         auto& stack = *holder;
@@ -46,34 +229,17 @@ RunResult run_throughput(Factory&& make, const RunConfig& cfg) {
         workers.reserve(cfg.threads);
         for (unsigned t = 0; t < cfg.threads; ++t) {
             workers.emplace_back([&, t, run] {
-                Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull + run);
+                PhaseArgs args;
+                args.value_range = cfg.value_range;
+                args.mix = cfg.mix;
                 // Each worker loads its share of the prefill so deep
                 // prefills parallelise and (for TSI) spread across pools.
-                std::size_t share = cfg.prefill / cfg.threads;
-                if (t == 0) share += cfg.prefill % cfg.threads;
-                for (std::size_t i = 0; i < share; ++i) {
-                    stack.push(static_cast<typename std::remove_reference_t<
-                                   decltype(stack)>::value_type>(
-                        rng.next_below(cfg.value_range)));
-                }
+                args.seed = phase_seed(t, run, 1);
+                phase_prefill(stack, prefill_share(cfg.prefill, cfg.threads, t),
+                              args);
                 sync.arrive_and_wait();
-                std::uint64_t local = 0;
-                const unsigned push_cut = cfg.mix.push_pct;
-                const unsigned pop_cut = cfg.mix.update_pct();
-                while (!stop.load(std::memory_order_relaxed)) {
-                    const std::uint64_t r = rng.next_below(100);
-                    if (r < push_cut) {
-                        stack.push(static_cast<typename std::remove_reference_t<
-                                       decltype(stack)>::value_type>(
-                            rng.next_below(cfg.value_range)));
-                    } else if (r < pop_cut) {
-                        (void)stack.pop();
-                    } else {
-                        (void)stack.peek();
-                    }
-                    ++local;
-                }
-                *ops[t] = local;
+                args.seed = phase_seed(t, run);
+                *ops[t] = phase_mixed_until(stack, stop, args);
             });
         }
 

@@ -1,0 +1,123 @@
+// any_runner.cpp — timed-window, latency, and churn runners over AnyStack.
+// Thread plumbing mirrors the statically-typed run_throughput; the measured
+// loops themselves live behind one virtual phase call per worker (see
+// core/stack_concept.hpp).
+#include "workload/any_runner.hpp"
+
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace sec::bench {
+namespace {
+
+// One timed window on `stack`; accumulates into `result`.
+void one_round(AnyStack& stack, const RunConfig& cfg, unsigned run,
+               RunResult& result) {
+    std::atomic<bool> stop{false};
+    std::vector<CacheAligned<std::uint64_t>> ops(cfg.threads);
+    std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
+
+    std::vector<std::thread> workers;
+    workers.reserve(cfg.threads);
+    for (unsigned t = 0; t < cfg.threads; ++t) {
+        workers.emplace_back([&, t, run] {
+            PhaseArgs args;
+            args.value_range = cfg.value_range;
+            args.mix = cfg.mix;
+            args.seed = phase_seed(t, run, 1);
+            stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
+            sync.arrive_and_wait();
+            args.seed = phase_seed(t, run);
+            *ops[t] = stack.mixed_until(stop, args);
+        });
+    }
+
+    sync.arrive_and_wait();
+    const auto start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(cfg.duration);
+    stop.store(true, std::memory_order_relaxed);
+    const auto end = std::chrono::steady_clock::now();
+    for (auto& w : workers) w.join();
+
+    std::uint64_t total = 0;
+    for (const auto& c : ops) total += *c;
+    const double us =
+        std::chrono::duration<double, std::micro>(end - start).count();
+    result.total_ops += total;
+    result.mops += us > 0 ? static_cast<double>(total) / us : 0.0;
+}
+
+}  // namespace
+
+RunResult run_throughput_any(const AnyStackFactory& make,
+                             const RunConfig& cfg) {
+    RunResult result;
+    if (cfg.threads == 0) return result;  // see RunConfig::threads
+    for (unsigned run = 0; run < cfg.runs; ++run) {
+        AnyStack stack = make();
+        one_round(stack, cfg, run, result);
+    }
+    result.mops /= cfg.runs;
+    return result;
+}
+
+RunResult run_throughput_any(AnyStack& stack, const RunConfig& cfg) {
+    RunResult result;
+    if (cfg.threads == 0) return result;  // see RunConfig::threads
+    for (unsigned run = 0; run < cfg.runs; ++run) {
+        one_round(stack, cfg, run, result);
+    }
+    result.mops /= cfg.runs;
+    return result;
+}
+
+LatencyHistogram run_latency_any(AnyStack& stack, const RunConfig& cfg) {
+    LatencyHistogram merged;
+    if (cfg.threads == 0) return merged;
+    std::atomic<bool> stop{false};
+    std::vector<CacheAligned<LatencyHistogram>> hists(cfg.threads);
+    std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
+
+    std::vector<std::thread> workers;
+    workers.reserve(cfg.threads);
+    for (unsigned t = 0; t < cfg.threads; ++t) {
+        workers.emplace_back([&, t] {
+            PhaseArgs args;
+            args.value_range = cfg.value_range;
+            args.mix = cfg.mix;
+            args.seed = phase_seed(t, 0, 1);
+            stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
+            sync.arrive_and_wait();
+            args.seed = phase_seed(t, 0);
+            stack.timed_until(stop, args, *hists[t]);
+        });
+    }
+    sync.arrive_and_wait();
+    std::this_thread::sleep_for(cfg.duration);
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& w : workers) w.join();
+
+    for (const auto& h : hists) merged.merge_from(*h);
+    return merged;
+}
+
+void run_churn_any(AnyStack& stack, unsigned threads,
+                   std::uint64_t ops_per_thread, std::size_t value_range) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            PhaseArgs args;
+            args.value_range = value_range;
+            args.mix = kUpdateHeavy;  // balanced push/pop churn
+            args.seed = phase_seed(t, 0);
+            stack.mixed_ops(ops_per_thread, args);
+        });
+    }
+    for (auto& w : workers) w.join();
+}
+
+}  // namespace sec::bench

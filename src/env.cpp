@@ -78,7 +78,10 @@ EnvConfig EnvConfig::load() {
 }
 
 void print_preamble(std::string_view bench_name) {
-    const EnvConfig cfg = EnvConfig::load();
+    print_preamble(bench_name, EnvConfig::load());
+}
+
+void print_preamble(std::string_view bench_name, const EnvConfig& cfg) {
     std::string grid;
     for (unsigned t : cfg.threads) {
         if (!grid.empty()) grid += ',';

@@ -1,0 +1,243 @@
+// registry.cpp — AlgorithmRegistry (the six stacks + the ElimPool adapter
+// self-register here), ScenarioRegistry, and the shared scenario pipeline
+// (ScenarioContext helpers, run_scenario, the legacy-stub entry point).
+#include "workload/registry.hpp"
+
+#include <cstdio>
+
+#include "core/elim_pool.hpp"
+#include "sec.hpp"
+#include "workload/any_runner.hpp"
+
+namespace sec::bench {
+namespace {
+
+// ---- algorithm factories ---------------------------------------------------
+
+// A Config honouring params: explicit config wins; otherwise default Config
+// sized to the run's thread bound. Aggregators never exceed max_threads.
+Config effective_config(const StackParams& p) {
+    Config cfg = p.config != nullptr ? *p.config : Config{};
+    if (p.config == nullptr) cfg.max_threads = tid_bound(p.threads);
+    cfg.max_threads =
+        std::min(std::max<std::size_t>(cfg.max_threads, 1), kMaxThreads);
+    cfg.num_aggregators = std::min(cfg.num_aggregators, cfg.max_threads);
+    return cfg;
+}
+
+// Stacks constructed from a thread bound, with or without an external EBR
+// domain (CcStack/FcStack have no domain constructor — combining designs
+// reclaim through their combiner, so `domain` is ignored for them).
+template <ConcurrentStack S>
+AnyStack make_bound_stack(const StackParams& p) {
+    if constexpr (std::is_constructible_v<S, std::size_t, ebr::Domain&>) {
+        if (p.domain != nullptr) {
+            return erase_stack(
+                std::make_unique<S>(tid_bound(p.threads), *p.domain));
+        }
+    }
+    return erase_stack(make_stack<S>(tid_bound(p.threads)));
+}
+
+AnyStack make_sec(const StackParams& p) {
+    const Config cfg = effective_config(p);
+    if (p.domain != nullptr) {
+        return erase_stack(std::make_unique<SecStack<Value>>(cfg, *p.domain));
+    }
+    return erase_stack(std::make_unique<SecStack<Value>>(cfg));
+}
+
+// ElimPool behind the stack concept: the SEC machinery on per-aggregator
+// spines, LIFO order dropped (pools don't peek).
+struct PoolStackAdapter {
+    using value_type = Value;
+    explicit PoolStackAdapter(Config cfg) : pool(std::move(cfg)) {}
+    bool push(const value_type& v) { return pool.insert(v); }
+    std::optional<value_type> pop() { return pool.extract(); }
+    std::optional<value_type> peek() { return std::nullopt; }
+    ElimPool<value_type> pool;
+};
+
+AnyStack make_pool(const StackParams& p) {
+    return erase_stack(std::make_unique<PoolStackAdapter>(effective_config(p)));
+}
+
+void register_builtin_algorithms(AlgorithmRegistry& reg) {
+    reg.add({"CC", "CC-Synch combining stack", 0, true, false,
+             make_bound_stack<CcStack<Value>>});
+    reg.add({"EB", "Treiber + elimination-backoff collision array", 1, true,
+             true, make_bound_stack<EbStack<Value>>});
+    reg.add({"FC", "flat-combining stack", 2, true, false,
+             make_bound_stack<FcStack<Value>>});
+    reg.add({"SEC", "sharded elimination-combining stack (the paper)", 3, true,
+             true, make_sec});
+    reg.add({"TRB", "Treiber stack (single-CAS top)", 4, true, true,
+             make_bound_stack<TreiberStack<Value>>});
+    reg.add({"TSI", "timestamped stack (per-thread pools)", 5, true, true,
+             make_bound_stack<TsiStack<Value>>});
+    reg.add({"POOL", "ElimPool — SEC machinery, unordered, per-aggregator spines",
+             10, false, false, make_pool});
+}
+
+}  // namespace
+
+// ---- AlgorithmRegistry -----------------------------------------------------
+
+AlgorithmRegistry::AlgorithmRegistry() { register_builtin_algorithms(*this); }
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+    static AlgorithmRegistry reg;
+    return reg;
+}
+
+void AlgorithmRegistry::add(AlgoSpec spec) {
+    const auto pos = std::find_if(
+        specs_.begin(), specs_.end(),
+        [&spec](const std::unique_ptr<AlgoSpec>& s) {
+            return s->legend_rank > spec.legend_rank;
+        });
+    specs_.insert(pos, std::make_unique<AlgoSpec>(std::move(spec)));
+}
+
+const AlgoSpec* AlgorithmRegistry::find(std::string_view name) const {
+    for (const auto& s : specs_) {
+        if (s->name == name) return s.get();
+    }
+    return nullptr;
+}
+
+std::vector<const AlgoSpec*> AlgorithmRegistry::all() const {
+    std::vector<const AlgoSpec*> out;
+    for (const auto& s : specs_) out.push_back(s.get());
+    return out;
+}
+
+std::vector<const AlgoSpec*> AlgorithmRegistry::default_set() const {
+    std::vector<const AlgoSpec*> out;
+    for (const auto& s : specs_) {
+        if (s->default_set) out.push_back(s.get());
+    }
+    return out;
+}
+
+std::string AlgorithmRegistry::names_csv() const {
+    std::string out;
+    for (const auto& s : specs_) {
+        if (!out.empty()) out += ", ";
+        out += s->name;
+    }
+    return out;
+}
+
+// ---- ScenarioRegistry ------------------------------------------------------
+
+ScenarioRegistry::ScenarioRegistry() {
+    detail::register_builtin_scenarios(*this);
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+    static ScenarioRegistry reg;
+    return reg;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+    specs_.push_back(std::make_unique<ScenarioSpec>(std::move(spec)));
+}
+
+const ScenarioSpec* ScenarioRegistry::find(std::string_view name) const {
+    for (const auto& s : specs_) {
+        if (s->name == name) return s.get();
+    }
+    return nullptr;
+}
+
+std::vector<const ScenarioSpec*> ScenarioRegistry::all() const {
+    std::vector<const ScenarioSpec*> out;
+    for (const auto& s : specs_) out.push_back(s.get());
+    return out;
+}
+
+// ---- ScenarioContext pipeline ----------------------------------------------
+
+std::vector<std::string> ScenarioContext::columns() const {
+    std::vector<std::string> out;
+    for (const AlgoSpec* a : algos) out.push_back(a->name);
+    return out;
+}
+
+RunConfig ScenarioContext::run_config(unsigned threads,
+                                      const OpMix& mix) const {
+    return run_config(threads, mix, env);
+}
+
+RunConfig ScenarioContext::run_config(unsigned threads, const OpMix& mix,
+                                      const EnvConfig& e) const {
+    RunConfig cfg;
+    cfg.threads = threads;
+    cfg.duration = std::chrono::milliseconds(e.duration_ms);
+    cfg.prefill = e.prefill;
+    cfg.mix = mix;
+    cfg.value_range = e.value_range;
+    cfg.runs = e.runs;
+    return cfg;
+}
+
+void ScenarioContext::series(Table& table, const AlgoSpec& algo,
+                             const OpMix& mix) const {
+    series(table, algo, mix, env);
+}
+
+void ScenarioContext::series(Table& table, const AlgoSpec& algo,
+                             const OpMix& mix, const EnvConfig& e) const {
+    for (unsigned t : e.threads) {
+        const RunConfig cfg = run_config(t, mix, e);
+        StackParams params;
+        params.threads = t;
+        const RunResult r =
+            run_throughput_any([&] { return algo.make(params); }, cfg);
+        table.add(t, algo.name, r.mops);
+        progress_line(algo.name, t, r.mops);
+    }
+}
+
+void ScenarioContext::emit(const Table& table) const {
+    table.print();
+    if (csv != nullptr) table.write_csv(csv);
+}
+
+void ScenarioContext::csv_row(std::string_view table, std::string_view key,
+                              std::string_view column, double value) const {
+    if (csv == nullptr) return;
+    std::fprintf(csv, "%.*s,%.*s,%.*s,%.4f\n", static_cast<int>(table.size()),
+                 table.data(), static_cast<int>(key.size()), key.data(),
+                 static_cast<int>(column.size()), column.data(), value);
+}
+
+// ---- entry points ----------------------------------------------------------
+
+int run_scenario(std::string_view name, const ScenarioContext& ctx) {
+    const ScenarioSpec* spec = ScenarioRegistry::instance().find(name);
+    if (spec == nullptr) {
+        std::string available;
+        for (const ScenarioSpec* s : ScenarioRegistry::instance().all()) {
+            if (!available.empty()) available += ", ";
+            available += s->name;
+        }
+        std::fprintf(stderr, "secbench: unknown scenario '%.*s'; available: %s\n",
+                     static_cast<int>(name.size()), name.data(),
+                     available.c_str());
+        return 2;
+    }
+    print_preamble(std::string("secbench ") + spec->name + " — " + spec->title,
+                   ctx.env);
+    return spec->run(ctx);
+}
+
+int run_legacy_scenario(std::string_view name) {
+    ScenarioContext ctx;
+    ctx.env = EnvConfig::load();
+    ctx.algos = AlgorithmRegistry::instance().default_set();
+    return run_scenario(name, ctx);
+}
+
+}  // namespace sec::bench

@@ -1,0 +1,494 @@
+// scenarios.cpp — the paper's experiments as registry-driven scenario
+// functions. Each is a short composition of the shared ScenarioContext
+// pipeline (selection, thread-grid series, Table/CSV emission); the per-
+// figure binaries under bench/ are two-line stubs over these, and
+// bench/secbench.cpp drives them from the command line.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/elim_pool.hpp"
+#include "sec.hpp"
+#include "workload/any_runner.hpp"
+#include "workload/histogram.hpp"
+#include "workload/registry.hpp"
+
+namespace sec::bench {
+namespace {
+
+// Prefill proportional to expected pop volume so pop-heavy windows measure
+// real pops rather than EMPTY returns (the paper's fixed 1000-node prefill
+// drains within milliseconds; see EXPERIMENTS.md).
+EnvConfig with_pop_prefill(EnvConfig env) {
+    const std::size_t volume = static_cast<std::size_t>(
+        25e6 * (static_cast<double>(env.duration_ms) / 1000.0) * 1.3);
+    env.prefill = std::min<std::size_t>(
+        std::max<std::size_t>(env.prefill, volume), 40'000'000);
+    return env;
+}
+
+// SEC Config for one grid point with explicit knob overrides.
+Config sec_config(unsigned threads) {
+    Config cfg;
+    cfg.max_threads = tid_bound(threads);
+    cfg.num_aggregators = std::min(cfg.num_aggregators, cfg.max_threads);
+    return cfg;
+}
+
+// ---- fig2: EXP1 — throughput vs thread count, 3 mixes, all algorithms ------
+
+int fig2(const ScenarioContext& ctx) {
+    for (const OpMix& mix : kStandardMixes) {
+        Table table(std::string("fig2_") + std::string(mix.name),
+                    ctx.columns());
+        std::fprintf(stderr, "workload %s (%u%% updates)\n", mix.name.data(),
+                     mix.update_pct());
+        for (const AlgoSpec* a : ctx.algos) ctx.series(table, *a, mix);
+        ctx.emit(table);
+    }
+    return 0;
+}
+
+// ---- fig3: EXP2 — asymmetric push-only / pop-only workloads ----------------
+
+int fig3(const ScenarioContext& ctx) {
+    {
+        Table table("fig3_push_only", ctx.columns());
+        std::fprintf(stderr, "workload push-only\n");
+        for (const AlgoSpec* a : ctx.algos) ctx.series(table, *a, kPushOnly);
+        ctx.emit(table);
+    }
+    {
+        const EnvConfig pop_env = with_pop_prefill(ctx.env);
+        Table table("fig3_pop_only", ctx.columns());
+        std::fprintf(stderr, "workload pop-only (prefill=%zu)\n",
+                     pop_env.prefill);
+        for (const AlgoSpec* a : ctx.algos) {
+            ctx.series(table, *a, kPopOnly, pop_env);
+        }
+        ctx.emit(table);
+    }
+    return 0;
+}
+
+// ---- fig4: EXP3 — SEC self-comparison with 1..5 aggregators ----------------
+
+void fig4_series(const ScenarioContext& ctx, Table& table, const OpMix& mix,
+                 const EnvConfig& env, const AlgoSpec& sec_algo) {
+    for (std::size_t aggs = 1; aggs <= kMaxAggregators; ++aggs) {
+        const std::string column = "SEC_Agg" + std::to_string(aggs);
+        for (unsigned t : env.threads) {
+            Config cfg = sec_config(t);
+            cfg.num_aggregators = std::min<std::size_t>(aggs, cfg.max_threads);
+            StackParams params;
+            params.threads = t;
+            params.config = &cfg;
+            const RunResult r = run_throughput_any(
+                [&] { return sec_algo.make(params); },
+                ctx.run_config(t, mix, env));
+            table.add(t, column, r.mops);
+            progress_line(column, t, r.mops);
+        }
+    }
+}
+
+int fig4(const ScenarioContext& ctx) {
+    const AlgoSpec& sec_algo = *AlgorithmRegistry::instance().find("SEC");
+    std::vector<std::string> columns;
+    for (std::size_t a = 1; a <= kMaxAggregators; ++a) {
+        columns.push_back("SEC_Agg" + std::to_string(a));
+    }
+    for (const OpMix& mix : kStandardMixes) {
+        Table table(std::string("fig4_") + std::string(mix.name), columns);
+        std::fprintf(stderr, "workload %s\n", mix.name.data());
+        fig4_series(ctx, table, mix, ctx.env, sec_algo);
+        ctx.emit(table);
+    }
+    {
+        Table table("fig4_push_only", columns);
+        std::fprintf(stderr, "workload push-only\n");
+        fig4_series(ctx, table, kPushOnly, ctx.env, sec_algo);
+        ctx.emit(table);
+    }
+    {
+        Table table("fig4_pop_only", columns);
+        std::fprintf(stderr, "workload pop-only\n");
+        fig4_series(ctx, table, kPopOnly, with_pop_prefill(ctx.env), sec_algo);
+        ctx.emit(table);
+    }
+    return 0;
+}
+
+// ---- table1: EXP4 — SEC degree metrics -------------------------------------
+
+struct DegreeRow {
+    double batching = 0;
+    double elim_pct = 0;
+    double comb_pct = 0;
+};
+
+DegreeRow table1_measure(const ScenarioContext& ctx, const AlgoSpec& sec_algo,
+                         const OpMix& mix) {
+    DegreeRow row;
+    unsigned points = 0;
+    for (unsigned t : ctx.env.threads) {
+        Config cfg = sec_config(t);
+        cfg.collect_stats = true;
+        StackParams params;
+        params.threads = t;
+        params.config = &cfg;
+        AnyStack stack = sec_algo.make(params);
+
+        RunConfig rcfg = ctx.run_config(t, mix);
+        rcfg.runs = 1;
+        (void)run_throughput_any(stack, rcfg);
+
+        const StatsSnapshot s = stack.stats();
+        if (s.batches == 0) continue;
+        row.batching += s.batching_degree();
+        row.elim_pct += s.elimination_pct();
+        row.comb_pct += s.combining_pct();
+        ++points;
+        std::fprintf(stderr, "  %s t=%-4u batch=%.1f elim=%.0f%% comb=%.0f%%\n",
+                     mix.name.data(), t, s.batching_degree(),
+                     s.elimination_pct(), s.combining_pct());
+    }
+    if (points > 0) {
+        row.batching /= points;
+        row.elim_pct /= points;
+        row.comb_pct /= points;
+    }
+    return row;
+}
+
+int table1(const ScenarioContext& ctx) {
+    const AlgoSpec& sec_algo = *AlgorithmRegistry::instance().find("SEC");
+    DegreeRow rows[3];
+    int i = 0;
+    for (const OpMix& mix : kStandardMixes) {
+        rows[i++] = table1_measure(ctx, sec_algo, mix);
+    }
+
+    std::printf("\n== Table 1: SEC degree metrics ==\n");
+    std::printf("%-18s %10s %10s %10s\n", "Workload ->", "100% upd", "50% upd",
+                "10% upd");
+    std::printf("%-18s %10.1f %10.1f %10.1f\n", "Batching Degree",
+                rows[0].batching, rows[1].batching, rows[2].batching);
+    std::printf("%-18s %9.0f%% %9.0f%% %9.0f%%\n", "%Elimination",
+                rows[0].elim_pct, rows[1].elim_pct, rows[2].elim_pct);
+    std::printf("%-18s %9.0f%% %9.0f%% %9.0f%%\n", "%Combining",
+                rows[0].comb_pct, rows[1].comb_pct, rows[2].comb_pct);
+    for (i = 0; i < 3; ++i) {
+        std::printf("CSV,table1,%s,batching,%.2f\n",
+                    kStandardMixes[i].name.data(), rows[i].batching);
+        std::printf("CSV,table1,%s,elimination_pct,%.2f\n",
+                    kStandardMixes[i].name.data(), rows[i].elim_pct);
+        std::printf("CSV,table1,%s,combining_pct,%.2f\n",
+                    kStandardMixes[i].name.data(), rows[i].comb_pct);
+        ctx.csv_row("table1", kStandardMixes[i].name, "batching",
+                    rows[i].batching);
+        ctx.csv_row("table1", kStandardMixes[i].name, "elimination_pct",
+                    rows[i].elim_pct);
+        ctx.csv_row("table1", kStandardMixes[i].name, "combining_pct",
+                    rows[i].comb_pct);
+    }
+    return 0;
+}
+
+// ---- latency: per-op latency percentiles (paper §1 fairness claim) ---------
+
+int latency(const ScenarioContext& ctx) {
+    std::printf("# columns: mean, p50, p99, p999 per-op latency, upd100 mix\n");
+    for (unsigned t : ctx.env.threads) {
+        for (const AlgoSpec* a : ctx.algos) {
+            StackParams params;
+            params.threads = t;
+            AnyStack stack = a->make(params);
+            RunConfig cfg = ctx.run_config(t, kUpdateHeavy);
+            const LatencyHistogram merged = run_latency_any(stack, cfg);
+            std::printf(
+                "%-6s t=%-4u ops=%-10llu mean=%8.0fns p50=%8lluns "
+                "p99=%8lluns p999=%9lluns\n",
+                a->name.c_str(), t,
+                static_cast<unsigned long long>(merged.total()),
+                merged.mean_ns(),
+                static_cast<unsigned long long>(merged.quantile_ns(0.50)),
+                static_cast<unsigned long long>(merged.quantile_ns(0.99)),
+                static_cast<unsigned long long>(merged.quantile_ns(0.999)));
+            std::printf("CSV,latency_upd100,%s,%u,%.0f,%llu,%llu,%llu\n",
+                        a->name.c_str(), t, merged.mean_ns(),
+                        static_cast<unsigned long long>(merged.quantile_ns(0.50)),
+                        static_cast<unsigned long long>(merged.quantile_ns(0.99)),
+                        static_cast<unsigned long long>(
+                            merged.quantile_ns(0.999)));
+            const std::string key = a->name + "@t" + std::to_string(t);
+            ctx.csv_row("latency_upd100", key, "mean_ns", merged.mean_ns());
+            ctx.csv_row("latency_upd100", key, "p50_ns",
+                        static_cast<double>(merged.quantile_ns(0.50)));
+            ctx.csv_row("latency_upd100", key, "p99_ns",
+                        static_cast<double>(merged.quantile_ns(0.99)));
+            ctx.csv_row("latency_upd100", key, "p999_ns",
+                        static_cast<double>(merged.quantile_ns(0.999)));
+        }
+    }
+    return 0;
+}
+
+// ---- reclamation: EBR retired/freed/limbo accounting (paper §4) ------------
+
+int reclamation(const ScenarioContext& ctx) {
+    const std::uint64_t ops =
+        static_cast<std::uint64_t>(ctx.env.duration_ms) * 2000;
+    std::printf(
+        "# balanced push/pop churn; 'freed-by-epochs' is reclamation that\n"
+        "# happened DURING the run via amortised epoch advancement\n");
+    const std::vector<unsigned> grid =
+        ctx.smoke ? std::vector<unsigned>{2u} : std::vector<unsigned>{4u, 16u};
+    for (unsigned t : grid) {
+        for (const AlgoSpec* a : ctx.algos) {
+            if (!a->supports_domain) continue;
+            ebr::Domain domain;
+            std::uint64_t retired = 0, freed = 0, limbo = 0;
+            {
+                StackParams params;
+                params.threads = t;
+                params.domain = &domain;
+                AnyStack stack = a->make(params);
+                run_churn_any(stack, t, ops, ctx.env.value_range);
+                // Snapshot BEFORE destruction: what the amortised path
+                // achieved.
+                retired = domain.retired_count();
+                freed = domain.freed_count();
+                limbo = domain.in_limbo();
+            }
+            const double freed_pct =
+                retired ? 100.0 * static_cast<double>(freed) /
+                              static_cast<double>(retired)
+                        : 100.0;
+            std::printf(
+                "%-6s t=%-3u retired=%-10llu freed-by-epochs=%-10llu "
+                "(%5.1f%%) limbo-at-quiesce=%llu\n",
+                a->name.c_str(), t, static_cast<unsigned long long>(retired),
+                static_cast<unsigned long long>(freed), freed_pct,
+                static_cast<unsigned long long>(limbo));
+            std::printf("CSV,reclamation,%s,%u,%llu,%llu,%llu\n",
+                        a->name.c_str(), t,
+                        static_cast<unsigned long long>(retired),
+                        static_cast<unsigned long long>(freed),
+                        static_cast<unsigned long long>(limbo));
+            const std::string key = a->name + "@t" + std::to_string(t);
+            ctx.csv_row("reclamation", key, "retired",
+                        static_cast<double>(retired));
+            ctx.csv_row("reclamation", key, "freed_by_epochs",
+                        static_cast<double>(freed));
+            ctx.csv_row("reclamation", key, "limbo_at_quiesce",
+                        static_cast<double>(limbo));
+        }
+    }
+    return 0;
+}
+
+// ---- ablation_backoff: freezer backoff window sweep (DESIGN.md §5) ---------
+
+int ablation_backoff(const ScenarioContext& ctx) {
+    const AlgoSpec& sec_algo = *AlgorithmRegistry::instance().find("SEC");
+    constexpr std::uint64_t kWindowsNs[] = {0, 128, 256, 512, 1024, 4096};
+    std::vector<std::string> columns;
+    for (auto w : kWindowsNs) columns.push_back("bo" + std::to_string(w));
+
+    Table table("ablation_freezer_backoff_upd100", columns);
+    for (auto w : kWindowsNs) {
+        const std::string column = "bo" + std::to_string(w);
+        for (unsigned t : ctx.env.threads) {
+            Config cfg = sec_config(t);
+            cfg.freezer_backoff_ns = w;
+            cfg.collect_stats = true;
+            StackParams params;
+            params.threads = t;
+            params.config = &cfg;
+            AnyStack stack = sec_algo.make(params);
+            const RunResult r =
+                run_throughput_any(stack, ctx.run_config(t, kUpdateHeavy));
+            table.add(t, column, r.mops);
+            const StatsSnapshot s = stack.stats();
+            std::fprintf(
+                stderr, "  bo=%-5llu t=%-4u %8.2f Mops/s batch=%.1f elim=%.0f%%\n",
+                static_cast<unsigned long long>(w), t, r.mops,
+                s.batching_degree(), s.elimination_pct());
+        }
+    }
+    ctx.emit(table);
+    return 0;
+}
+
+// ---- ablation_mapping: contiguous vs round-robin thread mapping (§5) -------
+
+int ablation_mapping(const ScenarioContext& ctx) {
+    const AlgoSpec& sec_algo = *AlgorithmRegistry::instance().find("SEC");
+    Table table("ablation_mapping_upd100", {"contiguous", "round_robin"});
+    const std::pair<AggregatorMapping, const char*> mappings[] = {
+        {AggregatorMapping::kContiguous, "contiguous"},
+        {AggregatorMapping::kRoundRobin, "round_robin"},
+    };
+    for (const auto& [mapping, column] : mappings) {
+        for (unsigned t : ctx.env.threads) {
+            Config cfg = sec_config(t);
+            cfg.mapping = mapping;
+            StackParams params;
+            params.threads = t;
+            params.config = &cfg;
+            const RunResult r = run_throughput_any(
+                [&] { return sec_algo.make(params); },
+                ctx.run_config(t, kUpdateHeavy));
+            table.add(t, column, r.mops);
+            progress_line(column, t, r.mops);
+        }
+    }
+    ctx.emit(table);
+    return 0;
+}
+
+// ---- ablation_pool: SEC stack vs ElimPool — the price of LIFO (§5) ---------
+
+int ablation_pool(const ScenarioContext& ctx) {
+    const AlgoSpec& sec_algo = *AlgorithmRegistry::instance().find("SEC");
+    const AlgoSpec& pool_algo = *AlgorithmRegistry::instance().find("POOL");
+    Table table("ablation_pool_vs_stack_upd100",
+                {"SEC_stack", "ElimPool_K2", "ElimPool_K4"});
+    for (unsigned t : ctx.env.threads) {
+        const RunConfig rcfg = ctx.run_config(t, kUpdateHeavy);
+        StackParams params;
+        params.threads = t;
+        const RunResult r1 =
+            run_throughput_any([&] { return sec_algo.make(params); }, rcfg);
+        table.add(t, "SEC_stack", r1.mops);
+
+        double pool_mops[2] = {0, 0};
+        int i = 0;
+        for (std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+            Config cfg = sec_config(t);
+            cfg.num_aggregators = std::min<std::size_t>(k, cfg.max_threads);
+            StackParams pp;
+            pp.threads = t;
+            pp.config = &cfg;
+            const RunResult r =
+                run_throughput_any([&] { return pool_algo.make(pp); }, rcfg);
+            table.add(t, "ElimPool_K" + std::to_string(k), r.mops);
+            pool_mops[i++] = r.mops;
+        }
+        std::fprintf(stderr,
+                     "t=%-4u stack=%.2f poolK2=%.2f poolK4=%.2f Mops/s\n", t,
+                     r1.mops, pool_mops[0], pool_mops[1]);
+    }
+    ctx.emit(table);
+    return 0;
+}
+
+// ---- micro: static vs type-erased hot-loop parity + per-op cost ------------
+
+double timed_mops(std::uint64_t ops, const std::function<void()>& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    return us > 0 ? static_cast<double>(ops) / us : 0.0;
+}
+
+template <class S>
+double static_mixed_mops(std::uint64_t ops, const PhaseArgs& args) {
+    auto stack = make_stack<S>(tid_bound(1));
+    phase_prefill(*stack, 64, args);
+    return timed_mops(ops,
+                      [&] { (void)phase_mixed_ops(*stack, ops, args); });
+}
+
+double erased_mixed_mops(const AlgoSpec& algo, std::uint64_t ops,
+                         const PhaseArgs& args) {
+    StackParams params;
+    params.threads = 1;
+    AnyStack stack = algo.make(params);
+    stack.prefill(64, args);
+    return timed_mops(ops, [&] { (void)stack.mixed_ops(ops, args); });
+}
+
+// The statically-dispatched twin of each registered algorithm (the erased
+// path and this path share phase_mixed_ops, so any gap beyond noise would
+// mean virtual dispatch leaked into the per-op loop).
+double static_twin_mops(std::string_view name, std::uint64_t ops,
+                        const PhaseArgs& args) {
+    if (name == "CC") return static_mixed_mops<CcStack<Value>>(ops, args);
+    if (name == "EB") return static_mixed_mops<EbStack<Value>>(ops, args);
+    if (name == "FC") return static_mixed_mops<FcStack<Value>>(ops, args);
+    if (name == "SEC") return static_mixed_mops<SecStack<Value>>(ops, args);
+    if (name == "TRB") return static_mixed_mops<TreiberStack<Value>>(ops, args);
+    if (name == "TSI") return static_mixed_mops<TsiStack<Value>>(ops, args);
+    return -1.0;
+}
+
+int micro(const ScenarioContext& ctx) {
+    const std::uint64_t ops = std::max<std::uint64_t>(
+        20'000, static_cast<std::uint64_t>(ctx.env.duration_ms) * 2000);
+    std::printf(
+        "# single-thread mixed-op cost over %llu ops; 'static' calls\n"
+        "# phase_mixed_ops<S> directly, 'erased' runs the same loop behind\n"
+        "# AnyStack's one-virtual-call phase boundary — the two must agree\n"
+        "# within noise\n",
+        static_cast<unsigned long long>(ops));
+    PhaseArgs args;
+    args.seed = 42;
+    args.value_range = ctx.env.value_range;
+    args.mix = kUpdateHeavy;
+    for (const AlgoSpec* a : ctx.algos) {
+        const double erased = erased_mixed_mops(*a, ops, args);
+        const double stat = static_twin_mops(a->name, ops, args);
+        if (stat >= 0) {
+            const double delta =
+                stat > 0 ? 100.0 * (erased - stat) / stat : 0.0;
+            std::printf("MICRO %-6s static=%8.2f erased=%8.2f Mops/s "
+                        "delta=%+.1f%%\n",
+                        a->name.c_str(), stat, erased, delta);
+            std::printf("CSV,micro_ops,%s,static,%.4f\n", a->name.c_str(),
+                        stat);
+            ctx.csv_row("micro_ops", a->name, "static", stat);
+        } else {
+            std::printf("MICRO %-6s static=%8s erased=%8.2f Mops/s\n",
+                        a->name.c_str(), "-", erased);
+        }
+        std::printf("CSV,micro_ops,%s,erased,%.4f\n", a->name.c_str(), erased);
+        ctx.csv_row("micro_ops", a->name, "erased", erased);
+    }
+    return 0;
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_scenarios(ScenarioRegistry& reg) {
+    reg.add({"fig2", "EXP1 — throughput vs threads, 3 mixes, all algorithms",
+             fig2});
+    reg.add({"fig3", "EXP2 — push-only / pop-only asymmetric workloads",
+             fig3});
+    reg.add({"fig4", "EXP3 — SEC self-comparison, 1..5 aggregators", fig4});
+    reg.add({"table1", "EXP4 — SEC batching/elimination/combining degrees",
+             table1});
+    reg.add({"latency", "per-op latency percentiles (paper §1 fairness claim)",
+             latency});
+    reg.add({"reclamation", "EBR retired/freed/limbo accounting (paper §4)",
+             reclamation});
+    reg.add({"ablation_backoff", "freezer backoff window sweep (DESIGN.md §5)",
+             ablation_backoff});
+    reg.add({"ablation_mapping",
+             "contiguous vs round-robin thread mapping (DESIGN.md §5)",
+             ablation_mapping});
+    reg.add({"ablation_pool",
+             "SEC stack vs ElimPool — the price of LIFO (DESIGN.md §5)",
+             ablation_pool});
+    reg.add({"micro",
+             "static vs type-erased hot-loop parity + single-thread op cost",
+             micro});
+}
+
+}  // namespace detail
+}  // namespace sec::bench

@@ -1,0 +1,167 @@
+// registry_test.cpp — the algorithm/scenario registries and the type-erased
+// AnyStack path: round-trips, legend-order columns, unknown-name reporting,
+// the runner's threads==0 guard, and a smoke scenario run.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../bench/bench_common.hpp"
+#include "sec.hpp"
+#include "workload/any_runner.hpp"
+#include "workload/registry.hpp"
+
+namespace sb = sec::bench;
+
+TEST(AlgorithmRegistry, DefaultColumnsAreTheSixCompetitorsInLegendOrder) {
+    const std::vector<std::string> expected = {"CC",  "EB",  "FC",
+                                               "SEC", "TRB", "TSI"};
+    EXPECT_EQ(sb::algorithm_columns(), expected);
+}
+
+TEST(AlgorithmRegistry, ListsAtLeastSixAlgorithms) {
+    EXPECT_GE(sb::AlgorithmRegistry::instance().all().size(), 6u);
+}
+
+TEST(AlgorithmRegistry, UnknownNameReportsTheAvailableSet) {
+    auto& reg = sb::AlgorithmRegistry::instance();
+    EXPECT_EQ(reg.find("NOPE"), nullptr);
+    const std::string available = reg.names_csv();
+    for (const char* name : {"CC", "EB", "FC", "SEC", "TRB", "TSI"}) {
+        EXPECT_NE(available.find(name), std::string::npos) << available;
+    }
+}
+
+// Every registered algorithm round-trips values through the erased handle:
+// pushed multiset == popped multiset (POOL is unordered, so no LIFO check
+// here), and the empty structure pops nullopt.
+TEST(AnyStack, EveryRegisteredAlgorithmRoundTripsPushPop) {
+    for (const sb::AlgoSpec* spec : sb::AlgorithmRegistry::instance().all()) {
+        SCOPED_TRACE(spec->name);
+        sb::StackParams params;
+        params.threads = 2;
+        sec::AnyStack stack = spec->make(params);
+        ASSERT_TRUE(static_cast<bool>(stack));
+
+        std::multiset<std::uint64_t> pushed;
+        for (std::uint64_t v = 1; v <= 32; ++v) {
+            EXPECT_TRUE(stack.push(v));
+            pushed.insert(v);
+        }
+        std::multiset<std::uint64_t> popped;
+        for (int i = 0; i < 32; ++i) {
+            const auto v = stack.pop();
+            ASSERT_TRUE(v.has_value());
+            popped.insert(*v);
+        }
+        EXPECT_EQ(pushed, popped);
+        EXPECT_FALSE(stack.pop().has_value());
+    }
+}
+
+TEST(AnyStack, LifoOrderThroughTheErasedHandle) {
+    const sb::AlgoSpec* trb = sb::AlgorithmRegistry::instance().find("TRB");
+    ASSERT_NE(trb, nullptr);
+    sb::StackParams params;
+    sec::AnyStack stack = trb->make(params);
+    for (std::uint64_t v = 1; v <= 8; ++v) stack.push(v);
+    for (int v = 8; v >= 1; --v) {
+        EXPECT_EQ(stack.pop(), static_cast<std::uint64_t>(v));
+    }
+}
+
+TEST(AnyStack, StatsSurfaceOnlyWhereTheConcreteTypeHasThem) {
+    auto& reg = sb::AlgorithmRegistry::instance();
+    sb::StackParams params;
+    params.threads = 2;
+    sec::Config cfg;
+    cfg.max_threads = sb::tid_bound(2);
+    cfg.collect_stats = true;
+    params.config = &cfg;
+    sec::AnyStack sec_stack = reg.find("SEC")->make(params);
+    EXPECT_TRUE(sec_stack.has_stats());
+    sec::AnyStack trb_stack = reg.find("TRB")->make(sb::StackParams{});
+    EXPECT_FALSE(trb_stack.has_stats());
+}
+
+TEST(Runner, ZeroThreadsIsGuardedNotDividedBy) {
+    const sb::RunConfig cfg = [] {
+        sb::RunConfig c;
+        c.threads = 0;
+        c.prefill = 100;  // would previously divide by zero
+        c.duration = std::chrono::milliseconds(1);
+        return c;
+    }();
+    const sb::RunResult direct = sb::run_throughput(
+        [] { return sec::make_stack<sec::TreiberStack<std::uint64_t>>(8); },
+        cfg);
+    EXPECT_EQ(direct.total_ops, 0u);
+    EXPECT_EQ(direct.mops, 0.0);
+
+    const sb::RunResult erased = sb::run_throughput_any(
+        [] {
+            return sb::AlgorithmRegistry::instance().find("TRB")->make(
+                sb::StackParams{});
+        },
+        cfg);
+    EXPECT_EQ(erased.total_ops, 0u);
+}
+
+// The statically-typed compatibility path (bench_common.hpp) fills the same
+// table schema as the registry-driven series.
+TEST(BenchCommon, StaticRunSeriesMatchesTableSchema) {
+    sb::EnvConfig env;
+    env.threads = {2};
+    env.duration_ms = 10;
+    env.runs = 1;
+    env.prefill = 64;
+    sb::Table table("compat", sb::algorithm_columns());
+    sb::run_series<sec::TreiberStack<sb::Value>>(table, env, sec::kUpdateHeavy,
+                                                 "TRB");
+    EXPECT_EQ(table.name(), "compat");
+}
+
+TEST(AnyRunner, ThroughputRunsThroughTheErasedPath) {
+    sb::RunConfig cfg;
+    cfg.threads = 2;
+    cfg.duration = std::chrono::milliseconds(20);
+    cfg.prefill = 128;
+    const sb::RunResult r = sb::run_throughput_any(
+        [] {
+            sb::StackParams params;
+            params.threads = 2;
+            return sb::AlgorithmRegistry::instance().find("SEC")->make(params);
+        },
+        cfg);
+    EXPECT_GT(r.total_ops, 0u);
+}
+
+TEST(ScenarioRegistry, ListsAtLeastEightScenarios) {
+    auto& reg = sb::ScenarioRegistry::instance();
+    EXPECT_GE(reg.all().size(), 8u);
+    for (const char* name :
+         {"fig2", "fig3", "fig4", "table1", "latency", "reclamation",
+          "ablation_backoff", "ablation_mapping", "ablation_pool", "micro"}) {
+        EXPECT_NE(reg.find(name), nullptr) << name;
+    }
+}
+
+TEST(ScenarioRegistry, UnknownScenarioReturnsNonZero) {
+    sb::ScenarioContext ctx;
+    ctx.env = sb::EnvConfig::load();
+    ctx.algos = sb::AlgorithmRegistry::instance().default_set();
+    EXPECT_EQ(sb::run_scenario("no_such_scenario", ctx), 2);
+}
+
+// A scenario end-to-end through the registry, tiny budget (the full
+// `secbench all --smoke` pass is a ctest of the binary itself).
+TEST(ScenarioRegistry, Fig2RunsOnATinyBudget) {
+    sb::ScenarioContext ctx;
+    ctx.smoke = true;
+    ctx.env.duration_ms = 10;
+    ctx.env.runs = 1;
+    ctx.env.threads = {2};
+    ctx.env.prefill = 64;
+    ctx.algos = {sb::AlgorithmRegistry::instance().find("SEC"),
+                 sb::AlgorithmRegistry::instance().find("TRB")};
+    EXPECT_EQ(sb::run_scenario("fig2", ctx), 0);
+}
