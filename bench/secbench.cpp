@@ -8,6 +8,7 @@
 //
 // Defaults layer over EnvConfig, so the SEC_BENCH_* environment knobs (and
 // SEC_BENCH_PAPER=1) keep working; explicit flags win over the environment.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,11 +37,17 @@ int usage(std::FILE* out) {
                  "  --value-range N    value universe for pushes\n"
                  "  --csv PATH         also write table,threads,column,value "
                  "rows to PATH\n"
+                 "  --seed N           base seed for per-worker op-mix RNGs "
+                 "(reproducible runs)\n"
+                 "  --reclaim SCHEME   run selected algorithms over this "
+                 "reclamation scheme\n"
+                 "                     (ebr default; hp / qsbr / leak pick "
+                 "the ALGO@scheme variants)\n"
                  "  --smoke            tiny smoke preset (25 ms, 2 threads, 1 "
                  "run)\n"
                  "  --paper            the paper's 5 s x 5-run methodology\n"
                  "environment: SEC_BENCH_DURATION_MS / _RUNS / _THREADS / "
-                 "_PREFILL / _VALUE_RANGE / _PAPER\n");
+                 "_PREFILL / _VALUE_RANGE / _SEED / _RECLAIM / _PAPER\n");
     return out == stderr ? 2 : 0;
 }
 
@@ -53,6 +60,10 @@ int list_registries() {
     for (const sb::AlgoSpec* a : sb::AlgorithmRegistry::instance().all()) {
         std::printf("  %-18s %s%s\n", a->name.c_str(), a->description.c_str(),
                      a->default_set ? "" : " [extra]");
+    }
+    std::printf("reclaimers (--reclaim):\n");
+    for (const sb::ReclaimerSpec* r : sb::ReclaimerRegistry::instance().all()) {
+        std::printf("  %-18s %s\n", r->name.c_str(), r->description.c_str());
     }
     return 0;
 }
@@ -78,12 +89,14 @@ int main(int argc, char** argv) {
     std::vector<std::string> scenarios;
     std::vector<std::string> algo_names;
     const char* csv_path = nullptr;
+    const char* reclaim_scheme = nullptr;
     bool smoke = false;
     bool run_all = false;
 
     // Flags that override EnvConfig after it loads (0 / empty = not given).
     unsigned duration_ms = 0, runs = 0;
     long long prefill = -1, value_range = -1;
+    long long seed = -1;
     std::vector<unsigned> thread_grid;
 
     auto next_value = [&](int& i, const char* flag) -> const char* {
@@ -119,6 +132,10 @@ int main(int argc, char** argv) {
             value_range = std::strtoll(next_value(i, arg), nullptr, 10);
         } else if (std::strcmp(arg, "--csv") == 0) {
             csv_path = next_value(i, arg);
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            seed = std::strtoll(next_value(i, arg), nullptr, 10);
+        } else if (std::strcmp(arg, "--reclaim") == 0) {
+            reclaim_scheme = next_value(i, arg);
         } else if (std::strcmp(arg, "--smoke") == 0) {
             smoke = true;
         } else if (std::strcmp(arg, "--paper") == 0) {
@@ -150,6 +167,7 @@ int main(int argc, char** argv) {
     if (value_range > 0) {
         ctx.env.value_range = static_cast<std::size_t>(value_range);
     }
+    if (seed >= 0) ctx.env.seed = static_cast<std::uint64_t>(seed);
     if (!thread_grid.empty()) ctx.env.threads = thread_grid;
 
     auto& algo_reg = sb::AlgorithmRegistry::instance();
@@ -166,6 +184,51 @@ int main(int argc, char** argv) {
             }
             ctx.algos.push_back(spec);
         }
+    }
+
+    // --reclaim SCHEME (or SEC_BENCH_RECLAIM): rebind the selection to the
+    // ALGO@scheme variants. "ebr" is the plain names' built-in binding, so
+    // it leaves the selection (and thus all scenario keys) untouched.
+    if (reclaim_scheme == nullptr) {
+        reclaim_scheme = std::getenv("SEC_BENCH_RECLAIM");
+    }
+    if (reclaim_scheme != nullptr && *reclaim_scheme != '\0') {
+        auto& rec_reg = sb::ReclaimerRegistry::instance();
+        if (rec_reg.find(reclaim_scheme) == nullptr) {
+            std::fprintf(stderr,
+                         "secbench: unknown reclaimer '%s'; available: %s\n",
+                         reclaim_scheme, rec_reg.names_csv().c_str());
+            return 2;
+        }
+        const bool is_ebr = std::strcmp(reclaim_scheme, "ebr") == 0;
+        std::vector<const sb::AlgoSpec*> mapped;
+        for (const sb::AlgoSpec* spec : ctx.algos) {
+            const sb::AlgoSpec* variant =
+                algo_reg.find_variant(spec->base, reclaim_scheme);
+            if (variant != nullptr &&
+                (variant->supports_domain || is_ebr)) {
+                // Distinct selections can map to one variant (SEC,SEC@hp
+                // --reclaim hp); run it once, not per alias.
+                if (std::find(mapped.begin(), mapped.end(), variant) ==
+                    mapped.end()) {
+                    mapped.push_back(variant);
+                }
+            } else {
+                std::fprintf(stderr,
+                             "secbench: %s has no '%s' variant; dropping "
+                             "it from the selection\n",
+                             spec->name.c_str(), reclaim_scheme);
+            }
+        }
+        if (mapped.empty()) {
+            std::fprintf(stderr,
+                         "secbench: no selected algorithm supports "
+                         "--reclaim %s\n",
+                         reclaim_scheme);
+            return 2;
+        }
+        ctx.algos = std::move(mapped);
+        ctx.reclaim = reclaim_scheme;
     }
 
     std::FILE* csv = nullptr;

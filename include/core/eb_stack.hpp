@@ -3,6 +3,10 @@
 // a push that lost its CAS waits briefly so a concurrent pop can take its
 // value directly. Matched pairs never touch the central top. The paper (§2)
 // contrasts its three-CAS collision protocol with SEC's two-F&I rendezvous.
+// Reclamation is pluggable (sec::reclaim): the pop loop re-protects the head
+// through the guard each attempt, so hazard pointers work too — collision
+// cells are domain-owned arrays and never freed, so elimination needs no
+// protection under any scheme.
 #pragma once
 
 #include <atomic>
@@ -11,22 +15,24 @@
 #include <type_traits>
 
 #include "core/common.hpp"
-#include "core/ebr.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/reclaimer.hpp"
 
 namespace sec {
 
-template <class V>
+template <class V, reclaim::Reclaimer R = reclaim::EpochDomain>
 class EbStack {
     static_assert(std::is_trivially_copyable_v<V>,
                   "EbStack exchanges values through atomic cells");
 
 public:
     using value_type = V;
+    using reclaimer_type = R;
 
     explicit EbStack(std::size_t max_threads)
-        : EbStack(max_threads, ebr::DomainRef()) {}
-    EbStack(std::size_t max_threads, ebr::Domain& domain)
-        : EbStack(max_threads, ebr::DomainRef(domain)) {}
+        : EbStack(max_threads, reclaim::DomainRef<R>()) {}
+    EbStack(std::size_t max_threads, R& domain)
+        : EbStack(max_threads, reclaim::DomainRef<R>(domain)) {}
 
     ~EbStack() {
         Node* n = top_.load(std::memory_order_relaxed);
@@ -59,14 +65,17 @@ public:
     }
 
     std::optional<V> pop() {
-        ebr::Guard guard(*domain_);
+        typename R::Guard guard(*domain_);
         const std::size_t id = detail::tid();
-        Node* head = top_.load(std::memory_order_acquire);
         for (;;) {
+            Node* head = guard.protect(0u, top_);
             if (head == nullptr) return std::nullopt;
-            if (top_.compare_exchange_weak(head, head->next,
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_acquire)) {
+            // head->next is safe: head is protected; a stale next just
+            // fails the CAS.
+            Node* expected = head;
+            if (top_.compare_exchange_strong(expected, head->next,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
                 V v = head->value;
                 domain_->retire(head);
                 return v;
@@ -74,15 +83,20 @@ public:
             if (id < max_threads_) {
                 if (std::optional<V> v = try_eliminate_pop(id)) return v;
             }
+            detail::cpu_relax();
         }
     }
 
     std::optional<V> peek() const {
-        ebr::Guard guard(*domain_);
-        Node* head = top_.load(std::memory_order_acquire);
+        typename R::Guard guard(*domain_);
+        Node* head = guard.protect(0u, top_);
         if (head == nullptr) return std::nullopt;
         return head->value;
     }
+
+    // Reclamation hooks the workload runner drives (see runner.hpp).
+    void quiesce() { domain_->quiesce(); }
+    void reclaim_offline() { domain_->offline(); }
 
 private:
     struct Node {
@@ -109,7 +123,7 @@ private:
         return (seq << 2) | phase;
     }
 
-    EbStack(std::size_t max_threads, ebr::DomainRef domain)
+    EbStack(std::size_t max_threads, reclaim::DomainRef<R> domain)
         : max_threads_(std::min(std::max<std::size_t>(max_threads, 1),
                                 kMaxThreads)),
           num_slots_(std::min<std::size_t>(max_threads_, 16)),
@@ -174,7 +188,7 @@ private:
         return v;
     }
 
-    Xoshiro256& rng_for(std::size_t id) {
+    Xoshiro256& rng_for(std::size_t id) const {
         thread_local Xoshiro256 rng(0xE11Aull ^
                                     (id * 0x9E3779B97F4A7C15ull));
         return rng;
@@ -182,7 +196,7 @@ private:
 
     std::size_t max_threads_;
     std::size_t num_slots_;
-    ebr::DomainRef domain_;
+    reclaim::DomainRef<R> domain_;
     std::unique_ptr<Cell[]> cells_;
     std::unique_ptr<std::atomic<Cell*>[]> slots_;
     std::atomic<Node*> top_{nullptr};

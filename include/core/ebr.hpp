@@ -1,133 +1,18 @@
-// core/ebr.hpp — DEBRA-style epoch-based reclamation.
-//
-// The paper integrates DEBRA for node reclamation (§4). A Domain tracks a
-// global epoch plus one announcement slot per thread; retired nodes are
-// stamped with the epoch at retire time and freed once the global epoch has
-// advanced two steps past it (no reader can still hold a reference). Epoch
-// advancement is amortised into retire(), so frees keep pace with retires
-// during a run rather than piling up until destruction — memory stays
-// bounded under churn, which bench/memory_reclamation.cpp makes observable
-// via the retired/freed/limbo counters.
+// core/ebr.hpp — compatibility shim: the DEBRA-style epoch scheme the paper
+// integrates (§4) now lives in the pluggable reclamation subsystem as
+// sec::reclaim::EpochDomain (reclaim/epoch.hpp), alongside QSBR, hazard
+// pointers, and the leaky baseline. The sec::ebr names are aliases so
+// existing callers and the `(args..., Domain&)` stack constructors keep
+// working unchanged.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <memory>
-
-#include "core/common.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/reclaimer.hpp"
 
 namespace sec::ebr {
 
-class Domain {
-public:
-    Domain() = default;
-    ~Domain();
-
-    Domain(const Domain&) = delete;
-    Domain& operator=(const Domain&) = delete;
-
-    // Hand `p` to the domain; it is deleted once no epoch-protected reader
-    // can still reach it. Callable with or without an active Guard.
-    template <class T>
-    void retire(T* p) {
-        retire_erased(p, [](void* q) { delete static_cast<T*>(q); });
-    }
-
-    void retire_erased(void* p, void (*deleter)(void*));
-
-    // Reclaim everything that is provably unreachable; if no thread holds a
-    // Guard this drains the entire limbo backlog.
-    void drain_all();
-
-    // Accounting (relaxed counters; exact once all workers have joined).
-    std::uint64_t retired_count() const noexcept {
-        return retired_total_.load(std::memory_order_acquire);
-    }
-    std::uint64_t freed_count() const noexcept {
-        return freed_total_.load(std::memory_order_acquire);
-    }
-    std::uint64_t in_limbo() const noexcept {
-        return retired_count() - freed_count();
-    }
-    std::uint64_t epoch() const noexcept {
-        return global_epoch_.load(std::memory_order_acquire);
-    }
-
-    // Reader-side critical section; prefer the Guard RAII wrapper. Nestable.
-    void enter() noexcept;
-    void exit() noexcept;
-
-private:
-    static constexpr std::uint64_t kInactive = ~std::uint64_t{0};
-    // Retires between amortised advance/sweep attempts on the owning thread.
-    static constexpr std::uint32_t kScanInterval = 64;
-    // Retired pointers per limbo chunk: amortises tracker allocation to one
-    // per kChunkSize retires (a per-retire heap node would double the
-    // allocation traffic of every pop in the benchmarked stacks).
-    static constexpr std::uint32_t kChunkSize = 64;
-
-    struct Retired {
-        void* p;
-        void (*deleter)(void*);
-        std::uint64_t epoch;
-    };
-
-    // Entries are appended in retire order, so epochs within a chunk (and
-    // across the chunk list, oldest chunk first) are non-decreasing.
-    struct Chunk {
-        Retired entries[kChunkSize];
-        std::uint32_t count = 0;
-        Chunk* next = nullptr;
-    };
-
-    struct alignas(kCacheLineSize) Reservation {
-        std::atomic<std::uint64_t> epoch{kInactive};
-        std::uint32_t nesting = 0;  // owned by the announcing thread
-    };
-
-    struct alignas(kCacheLineSize) LimboList {
-        std::atomic_flag lock = ATOMIC_FLAG_INIT;
-        Chunk* head = nullptr;  // oldest
-        Chunk* tail = nullptr;  // newest (append target)
-        std::uint32_t retires_since_scan = 0;
-    };
-
-    bool try_advance() noexcept;
-    bool any_active() const noexcept;
-    // Free nodes in limbo_[i] with epoch+2 <= limit (limit==kInactive: all).
-    void sweep(std::size_t i, std::uint64_t limit);
-
-    std::atomic<std::uint64_t> global_epoch_{2};
-    std::atomic<std::uint64_t> retired_total_{0};
-    std::atomic<std::uint64_t> freed_total_{0};
-    Reservation reservations_[kMaxThreads];
-    LimboList limbo_[kMaxThreads];
-};
-
-// Owns a private Domain by default, or borrows an external one — the shared
-// plumbing behind every stack's `(args...)` / `(args..., Domain&)` ctor pair.
-class DomainRef {
-public:
-    DomainRef() : owned_(std::make_unique<Domain>()), domain_(owned_.get()) {}
-    explicit DomainRef(Domain& d) noexcept : domain_(&d) {}
-
-    Domain& operator*() const noexcept { return *domain_; }
-    Domain* operator->() const noexcept { return domain_; }
-
-private:
-    std::unique_ptr<Domain> owned_;
-    Domain* domain_;
-};
-
-class Guard {
-public:
-    explicit Guard(Domain& d) noexcept : domain_(d) { domain_.enter(); }
-    ~Guard() { domain_.exit(); }
-    Guard(const Guard&) = delete;
-    Guard& operator=(const Guard&) = delete;
-
-private:
-    Domain& domain_;
-};
+using Domain = reclaim::EpochDomain;
+using Guard = reclaim::EpochDomain::Guard;
+using DomainRef = reclaim::DomainRef<reclaim::EpochDomain>;
 
 }  // namespace sec::ebr

@@ -4,7 +4,8 @@
 // ONE top pointer, ElimPool gives each aggregator its own spine: the last
 // shared contention point disappears, at the price of LIFO order. extract()
 // falls back to stealing from sibling spines when the local one is empty.
-// bench/ablation_pool_vs_stack.cpp measures what that buys.
+// bench/ablation_pool_vs_stack.cpp measures what that buys. Reclamation is
+// pluggable (sec::reclaim); EBR remains the default.
 #pragma once
 
 #include <atomic>
@@ -14,18 +15,24 @@
 #include "core/aggregator.hpp"
 #include "core/common.hpp"
 #include "core/config.hpp"
-#include "core/ebr.hpp"
 #include "core/spine.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/reclaimer.hpp"
 
 namespace sec {
 
-template <class V>
+template <class V, reclaim::Reclaimer R = reclaim::EpochDomain>
 class ElimPool {
 public:
     using value_type = V;
+    using reclaimer_type = R;
 
     explicit ElimPool(Config cfg)
         : aggs_(cfg),
+          spines_(std::make_unique<Spine[]>(aggs_.num_aggregators())) {}
+    ElimPool(Config cfg, R& domain)
+        : aggs_(cfg),
+          domain_(domain),
           spines_(std::make_unique<Spine[]>(aggs_.num_aggregators())) {}
 
     ~ElimPool() {
@@ -69,6 +76,10 @@ public:
             });
     }
 
+    // Reclamation hooks the workload runner drives (see runner.hpp).
+    void quiesce() { domain_->quiesce(); }
+    void reclaim_offline() { domain_->offline(); }
+
     StatsSnapshot stats() const { return aggs_.stats(); }
 
 private:
@@ -80,19 +91,19 @@ private:
 
     // Pop up to n values, preferring the local spine, then stealing.
     std::size_t pop_any(std::size_t a, V* out, std::size_t n) {
-        ebr::Guard guard(*domain_);
-        std::size_t got = detail::spine_pop_chain(spines_[a].top, *domain_,
-                                                  out, n);
+        typename R::Guard guard(*domain_);
+        std::size_t got = detail::spine_pop_chain(spines_[a].top, guard, out,
+                                                  n);
         const std::size_t k = aggs_.num_aggregators();
         for (std::size_t step = 1; got < n && step < k; ++step) {
             got += detail::spine_pop_chain(spines_[(a + step) % k].top,
-                                           *domain_, out + got, n - got);
+                                           guard, out + got, n - got);
         }
         return got;
     }
 
     Aggs aggs_;
-    ebr::DomainRef domain_;
+    reclaim::DomainRef<R> domain_;
     std::unique_ptr<Spine[]> spines_;
 };
 

@@ -7,7 +7,8 @@
 // exchange, a run of n pops detaches n nodes in a single exchange. The spine
 // therefore sees at most K concurrent writers instead of one per thread,
 // which is where the paper's high-thread-count wins come from (Figure 2),
-// while keeping full LIFO semantics and per-op linearizability.
+// while keeping full LIFO semantics and per-op linearizability. Node
+// reclamation is pluggable (sec::reclaim); EBR remains the default.
 #pragma once
 
 #include <atomic>
@@ -16,18 +17,20 @@
 #include "core/aggregator.hpp"
 #include "core/common.hpp"
 #include "core/config.hpp"
-#include "core/ebr.hpp"
 #include "core/spine.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/reclaimer.hpp"
 
 namespace sec {
 
-template <class V>
+template <class V, reclaim::Reclaimer R = reclaim::EpochDomain>
 class SecStack {
 public:
     using value_type = V;
+    using reclaimer_type = R;
 
     explicit SecStack(Config cfg) : aggs_(cfg) {}
-    SecStack(Config cfg, ebr::Domain& domain) : aggs_(cfg), domain_(domain) {}
+    SecStack(Config cfg, R& domain) : aggs_(cfg), domain_(domain) {}
 
     ~SecStack() { detail::spine_destroy(top_); }
 
@@ -45,17 +48,17 @@ public:
                 detail::spine_push_chain(top_, vals, n);
             },
             [this](std::size_t, V* out, std::size_t n) {
-                ebr::Guard guard(*domain_);
-                return detail::spine_pop_chain(top_, *domain_, out, n);
+                typename R::Guard guard(*domain_);
+                return detail::spine_pop_chain(top_, guard, out, n);
             });
         return true;
     }
 
     std::optional<V> pop() {
         if (aggs_.is_overflow(detail::tid())) {
-            ebr::Guard guard(*domain_);
+            typename R::Guard guard(*domain_);
             V out;
-            return detail::spine_pop_chain(top_, *domain_, &out, 1) == 1
+            return detail::spine_pop_chain(top_, guard, &out, 1) == 1
                        ? std::optional<V>(out)
                        : std::nullopt;
         }
@@ -65,15 +68,19 @@ public:
                 detail::spine_push_chain(top_, vals, n);
             },
             [this](std::size_t, V* out, std::size_t n) {
-                ebr::Guard guard(*domain_);
-                return detail::spine_pop_chain(top_, *domain_, out, n);
+                typename R::Guard guard(*domain_);
+                return detail::spine_pop_chain(top_, guard, out, n);
             });
     }
 
     std::optional<V> peek() const {
-        ebr::Guard guard(*domain_);
-        return detail::spine_peek(top_);
+        typename R::Guard guard(*domain_);
+        return detail::spine_peek(top_, guard);
     }
+
+    // Reclamation hooks the workload runner drives (see runner.hpp).
+    void quiesce() { domain_->quiesce(); }
+    void reclaim_offline() { domain_->offline(); }
 
     // Degree counters (Table 1); meaningful when Config::collect_stats.
     StatsSnapshot stats() const { return aggs_.stats(); }
@@ -84,7 +91,7 @@ private:
     using Aggs = detail::AggregatorSet<V>;
 
     Aggs aggs_;
-    ebr::DomainRef domain_;
+    reclaim::DomainRef<R> domain_;
     alignas(kCacheLineSize) std::atomic<detail::SpineNode<V>*> top_{nullptr};
 };
 

@@ -1,7 +1,16 @@
-// core/spine.hpp — the lock-free Treiber spine shared by SecStack and
-// ElimPool: batched single-CAS chain push, batched single-CAS multi-pop
-// with EBR retirement, and teardown. Keeping it in one place keeps the two
-// structures from diverging.
+// core/spine.hpp — the lock-free Treiber spine shared by SecStack, ElimPool,
+// and TreiberStack: batched single-CAS chain push, batched single-CAS
+// multi-pop with reclaimer retirement, and teardown. Keeping it in one place
+// keeps the structures from diverging.
+//
+// The pop/peek primitives take a reclaimer Guard (reclaim/reclaimer.hpp)
+// rather than assuming EBR. Blanket guards (EBR/QSBR/leaky) compile to the
+// plain walk; hazard-pointer guards additionally announce each node before
+// it is dereferenced and revalidate the anchor: as long as `top` still
+// equals the protected head, no node of the chain under it can have been
+// popped — and spine nodes are never re-pushed after a pop — so the whole
+// prefix is intact and the freshly-announced walker node was live when its
+// hazard was published.
 #pragma once
 
 #include <atomic>
@@ -9,7 +18,6 @@
 #include <optional>
 
 #include "core/common.hpp"
-#include "core/ebr.hpp"
 
 namespace sec::detail {
 
@@ -21,7 +29,8 @@ struct SpineNode {
 
 // Link vals[0..n) above the current top with a single CAS. vals[n-1] ends
 // up topmost; within a batch the operations are concurrent, so any internal
-// order is linearizable.
+// order is linearizable. Pushes dereference no shared node, so they need no
+// guard under any reclaimer.
 template <class V>
 void spine_push_chain(std::atomic<SpineNode<V>*>& top, const V* vals,
                       std::size_t n) {
@@ -40,26 +49,45 @@ void spine_push_chain(std::atomic<SpineNode<V>*>& top, const V* vals,
 }
 
 // Detach up to n nodes with a single CAS; returns how many were popped.
-// Caller must hold an ebr::Guard on `domain`.
-template <class V>
-std::size_t spine_pop_chain(std::atomic<SpineNode<V>*>& top,
-                            ebr::Domain& domain, V* out, std::size_t n) {
-    SpineNode<V>* head = top.load(std::memory_order_acquire);
+// `guard` must be a live Guard of the domain the spine's nodes retire into;
+// slots 0 (anchor) and 1 (walker) of a hazard guard are used.
+template <class V, class G>
+std::size_t spine_pop_chain(std::atomic<SpineNode<V>*>& top, G& guard, V* out,
+                            std::size_t n) {
     for (;;) {
+        SpineNode<V>* head = guard.protect(0u, top);
         if (head == nullptr) return 0;
         SpineNode<V>* end = head;
         std::size_t count = 0;
+        bool restart = false;
         while (end != nullptr && count < n) {
-            end = end->next;
+            SpineNode<V>* next = end->next;
             ++count;
+            end = next;
+            if (end != nullptr && count < n) {
+                // `end` is dereferenced next iteration: announce it, then
+                // revalidate the anchor (no-ops for blanket guards).
+                guard.publish(1u, end);
+                if (!guard.validate(top, head)) {
+                    restart = true;
+                    break;
+                }
+            }
         }
-        if (top.compare_exchange_weak(head, end, std::memory_order_acq_rel,
+        if (restart) {
+            cpu_relax();
+            continue;
+        }
+        SpineNode<V>* expected = head;
+        if (top.compare_exchange_weak(expected, end, std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+            // The chain head..end is exclusively ours now; values are copied
+            // out before each node is handed to the domain.
             SpineNode<V>* node = head;
             for (std::size_t i = 0; i < count; ++i) {
                 out[i] = node->value;
                 SpineNode<V>* next = node->next;
-                domain.retire(node);
+                guard.domain().retire(node);
                 node = next;
             }
             return count;
@@ -68,10 +96,10 @@ std::size_t spine_pop_chain(std::atomic<SpineNode<V>*>& top,
     }
 }
 
-// Caller must hold an ebr::Guard on the owning domain.
-template <class V>
-std::optional<V> spine_peek(const std::atomic<SpineNode<V>*>& top) {
-    SpineNode<V>* head = top.load(std::memory_order_acquire);
+// Read the top value without detaching it; uses slot 0 of a hazard guard.
+template <class V, class G>
+std::optional<V> spine_peek(const std::atomic<SpineNode<V>*>& top, G& guard) {
+    SpineNode<V>* head = guard.protect(0u, top);
     if (head == nullptr) return std::nullopt;
     return head->value;
 }

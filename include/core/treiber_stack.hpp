@@ -1,26 +1,28 @@
 // core/treiber_stack.hpp — the classic lock-free stack (Treiber '86): a
 // single top pointer updated by CAS. The contention baseline of Figure 2
 // ("TRB collapses under contention": every operation fights for one line).
-// Push/pop are the n=1 case of the shared spine primitives.
+// Push/pop are the n=1 case of the shared spine primitives. Templated over
+// the reclamation scheme (sec::reclaim); EBR remains the default.
 #pragma once
 
 #include <atomic>
 #include <optional>
 
 #include "core/common.hpp"
-#include "core/ebr.hpp"
 #include "core/spine.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/reclaimer.hpp"
 
 namespace sec {
 
-template <class V>
+template <class V, reclaim::Reclaimer R = reclaim::EpochDomain>
 class TreiberStack {
 public:
     using value_type = V;
+    using reclaimer_type = R;
 
     explicit TreiberStack(std::size_t /*max_threads*/) {}
-    TreiberStack(std::size_t /*max_threads*/, ebr::Domain& domain)
-        : domain_(domain) {}
+    TreiberStack(std::size_t /*max_threads*/, R& domain) : domain_(domain) {}
 
     ~TreiberStack() { detail::spine_destroy(top_); }
 
@@ -33,20 +35,24 @@ public:
     }
 
     std::optional<V> pop() {
-        ebr::Guard guard(*domain_);
+        typename R::Guard guard(*domain_);
         V out;
-        return detail::spine_pop_chain(top_, *domain_, &out, 1) == 1
+        return detail::spine_pop_chain(top_, guard, &out, 1) == 1
                    ? std::optional<V>(out)
                    : std::nullopt;
     }
 
     std::optional<V> peek() const {
-        ebr::Guard guard(*domain_);
-        return detail::spine_peek(top_);
+        typename R::Guard guard(*domain_);
+        return detail::spine_peek(top_, guard);
     }
 
+    // Reclamation hooks the workload runner drives (see runner.hpp).
+    void quiesce() { domain_->quiesce(); }
+    void reclaim_offline() { domain_->offline(); }
+
 private:
-    ebr::DomainRef domain_;
+    reclaim::DomainRef<R> domain_;
     std::atomic<detail::SpineNode<V>*> top_{nullptr};
 };
 

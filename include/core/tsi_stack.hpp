@@ -5,6 +5,11 @@
 // one CAS on its `taken` flag. This is why TSI dominates push-only workloads
 // (Figure 3: no synchronisation at all) and collapses on pop-only (every pop
 // pays an all-pools scan).
+//
+// Reclamation is pluggable but restricted to blanket schemes (EBR / QSBR /
+// leaky): the all-pools scan dereferences nodes it discovers mid-walk and
+// has no anchor to revalidate a per-node hazard against, so hazard pointers
+// are rejected at compile time.
 #pragma once
 
 #include <algorithm>
@@ -14,7 +19,8 @@
 #include <optional>
 
 #include "core/common.hpp"
-#include "core/ebr.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/reclaimer.hpp"
 
 #if defined(__x86_64__)
 #include <x86intrin.h>
@@ -22,15 +28,20 @@
 
 namespace sec {
 
-template <class V>
+template <class V, reclaim::Reclaimer R = reclaim::EpochDomain>
 class TsiStack {
+    static_assert(R::kBlanketProtection,
+                  "TsiStack's all-pool scan cannot announce per-node hazards; "
+                  "use a blanket reclaimer (EpochDomain/QsbrDomain/LeakyDomain)");
+
 public:
     using value_type = V;
+    using reclaimer_type = R;
 
     explicit TsiStack(std::size_t max_threads)
-        : TsiStack(max_threads, ebr::DomainRef()) {}
-    TsiStack(std::size_t max_threads, ebr::Domain& domain)
-        : TsiStack(max_threads, ebr::DomainRef(domain)) {}
+        : TsiStack(max_threads, reclaim::DomainRef<R>()) {}
+    TsiStack(std::size_t max_threads, R& domain)
+        : TsiStack(max_threads, reclaim::DomainRef<R>(domain)) {}
 
     ~TsiStack() {
         for (std::size_t i = 0; i < num_pools_; ++i) {
@@ -62,7 +73,7 @@ public:
     }
 
     std::optional<V> pop() {
-        ebr::Guard guard(*domain_);
+        typename R::Guard guard(*domain_);
         for (;;) {
             Node* best = nullptr;
             std::uint64_t best_ts = 0;
@@ -86,7 +97,7 @@ public:
     }
 
     std::optional<V> peek() const {
-        ebr::Guard guard(*domain_);
+        typename R::Guard guard(*domain_);
         const Node* best = nullptr;
         std::uint64_t best_ts = 0;
         for (std::size_t i = 0; i < num_pools_; ++i) {
@@ -100,6 +111,10 @@ public:
         return best->value;
     }
 
+    // Reclamation hooks the workload runner drives (see runner.hpp).
+    void quiesce() { domain_->quiesce(); }
+    void reclaim_offline() { domain_->offline(); }
+
 private:
     struct Node {
         V value{};
@@ -112,7 +127,7 @@ private:
         std::atomic<Node*> head{nullptr};
     };
 
-    TsiStack(std::size_t max_threads, ebr::DomainRef domain)
+    TsiStack(std::size_t max_threads, reclaim::DomainRef<R> domain)
         : num_pools_(std::min(std::max<std::size_t>(max_threads, 1),
                               kMaxThreads)),
           domain_(std::move(domain)),
@@ -133,7 +148,7 @@ private:
 
     // Skip (and detach) the taken prefix of `pool`, returning the youngest
     // live node. Detaching keeps pop cost amortised instead of rescanning an
-    // ever-growing dead prefix; detached nodes go to the EBR limbo list.
+    // ever-growing dead prefix; detached nodes go to the domain's limbo.
     Node* first_untaken(Pool& pool) {
         Node* head = pool.head.load(std::memory_order_acquire);
         Node* n = head;
@@ -165,7 +180,7 @@ private:
     }
 
     std::size_t num_pools_;
-    ebr::DomainRef domain_;
+    reclaim::DomainRef<R> domain_;
     std::unique_ptr<Pool[]> pools_;
 };
 

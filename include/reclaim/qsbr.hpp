@@ -1,0 +1,66 @@
+// reclaim/qsbr.hpp — QsbrDomain: quiescent-state-based reclamation.
+//
+// The read side is free: Guard construction and destruction do nothing.
+// Instead, each thread is "online" from its first quiesce() call and
+// re-announces quiescence — a moment at which it holds no references into
+// any protected structure — at every workload-runner iteration boundary
+// (see the quiesce hook in workload/runner.hpp). Retired nodes are freed
+// once every online thread has announced a quiescent state after the
+// retire. A thread that stops operating MUST go offline (the runner's
+// phase-boundary hook does this), or it blocks reclamation forever; a
+// thread that never calls quiesce() must not touch the structure while
+// other threads are freeing.
+//
+// Shares the grace-period engine with EpochDomain (epoch_core.hpp): QSBR is
+// EBR with the announcement moved from the critical-section boundary to the
+// inter-operation boundary, which is exactly what makes its reader overhead
+// vanish — and why it needs the workload's cooperation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "reclaim/epoch_core.hpp"
+#include "reclaim/reclaimer.hpp"
+
+namespace sec::reclaim {
+
+class QsbrDomain {
+public:
+    static constexpr std::string_view kName = "qsbr";
+    static constexpr bool kBlanketProtection = true;
+    static constexpr bool kDrainsOnDemand = true;
+
+    // No-op by design: protection comes from the thread being online and
+    // between quiescence announcements, not from the guard.
+    using Guard = detail::BlanketGuard<QsbrDomain>;
+
+    QsbrDomain() = default;
+    QsbrDomain(const QsbrDomain&) = delete;
+    QsbrDomain& operator=(const QsbrDomain&) = delete;
+
+    template <class T>
+    void retire(T* p) {
+        retire_erased(p, [](void* q) { delete static_cast<T*>(q); });
+    }
+    void retire_erased(void* p, void (*deleter)(void*)) {
+        core_.retire_erased(p, deleter);
+    }
+
+    void drain_all() { core_.drain_all(); }
+
+    Stats stats() const noexcept { return core_.stats(); }
+
+    // The runner hooks: announce a quiescent state (first call brings the
+    // thread online), and withdraw from the online set at phase end.
+    void quiesce() noexcept { core_.quiescent(); }
+    void offline() noexcept { core_.set_offline(); }
+
+    std::uint64_t interval() const noexcept { return core_.epoch(); }
+
+private:
+    detail::EpochCore core_;
+};
+
+}  // namespace sec::reclaim

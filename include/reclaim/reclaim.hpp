@@ -1,0 +1,20 @@
+// reclaim/reclaim.hpp — umbrella header for the sec::reclaim subsystem: the
+// Reclaimer concept, the type-erased DomainHandle, and the four schemes
+// (EBR / QSBR / hazard pointers / leaky). See DESIGN.md §4 for the contract
+// and when each scheme wins.
+#pragma once
+
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/leaky.hpp"
+#include "reclaim/qsbr.hpp"
+#include "reclaim/reclaimer.hpp"
+
+namespace sec::reclaim {
+
+static_assert(Reclaimer<EpochDomain>);
+static_assert(Reclaimer<QsbrDomain>);
+static_assert(Reclaimer<HazardDomain>);
+static_assert(Reclaimer<LeakyDomain>);
+
+}  // namespace sec::reclaim

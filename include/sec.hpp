@@ -1,6 +1,7 @@
 // sec.hpp — umbrella header for the sec library: the SEC stack, its five
-// competitors (Figure 2 legend order: CC, EB, FC, SEC, TRB, TSI), the EBR
-// domain, and shared utilities.
+// competitors (Figure 2 legend order: CC, EB, FC, SEC, TRB, TSI), the
+// pluggable reclamation subsystem (sec::reclaim — EBR default, plus QSBR,
+// hazard pointers, and the leaky baseline), and shared utilities.
 #pragma once
 
 #include <algorithm>
@@ -17,6 +18,7 @@
 #include "core/sec_stack.hpp"
 #include "core/treiber_stack.hpp"
 #include "core/tsi_stack.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace sec {
 

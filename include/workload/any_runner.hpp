@@ -28,8 +28,11 @@ RunResult run_throughput_any(AnyStack& stack, const RunConfig& cfg);
 LatencyHistogram run_latency_any(AnyStack& stack, const RunConfig& cfg);
 
 // Fixed-op balanced churn: `threads` workers each run `ops_per_thread`
-// operations of cfg.mix, then join (the reclamation scenario's workload).
-void run_churn_any(AnyStack& stack, unsigned threads,
-                   std::uint64_t ops_per_thread, std::size_t value_range);
+// operations of a balanced push/pop mix, then join (the reclamation
+// scenario's workload). Workers are seeded from `seed` + thread id; returns
+// the aggregate throughput in Mops/s.
+double run_churn_any(AnyStack& stack, unsigned threads,
+                     std::uint64_t ops_per_thread, std::size_t value_range,
+                     std::uint64_t seed = 0);
 
 }  // namespace sec::bench

@@ -8,9 +8,11 @@
 //   SEC_BENCH_THREADS      comma-separated thread grid, e.g. "1,4,16,64"
 //   SEC_BENCH_PREFILL      nodes pushed before the window opens
 //   SEC_BENCH_VALUE_RANGE  value universe for pushes
+//   SEC_BENCH_SEED         base seed for per-worker op-mix RNGs (repro runs)
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -22,6 +24,7 @@ struct EnvConfig {
     unsigned runs = 1;
     std::size_t prefill = 1000;  // the paper's prefill
     std::size_t value_range = std::size_t{1} << 20;
+    std::uint64_t seed = 0;  // base for per-worker RNG seeds (0 = legacy)
 
     static EnvConfig load();
 };

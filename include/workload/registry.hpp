@@ -21,13 +21,10 @@
 #include "core/config.hpp"
 #include "core/op_mix.hpp"
 #include "core/stack_concept.hpp"
+#include "reclaim/reclaimer.hpp"
 #include "workload/env.hpp"
 #include "workload/reporter.hpp"
 #include "workload/runner.hpp"
-
-namespace sec::ebr {
-class Domain;
-}
 
 namespace sec::bench {
 
@@ -42,20 +39,27 @@ inline std::size_t tid_bound(unsigned threads) {
 // Everything an algorithm factory may need for one run. `config` overrides
 // the default sec::Config for Config-built structures (SEC, POOL) and is
 // ignored by the others; `domain` plugs in an external reclamation domain
-// where the structure supports one (AlgoSpec::supports_domain).
+// where the structure supports one (AlgoSpec::supports_domain) — the handle
+// must carry the scheme the algorithm variant was registered for, or the
+// factory falls back to a private domain.
 struct StackParams {
     unsigned threads = 1;
     const Config* config = nullptr;
-    ebr::Domain* domain = nullptr;
+    const reclaim::DomainHandle* domain = nullptr;
 };
 
 struct AlgoSpec {
-    std::string name;         // legend name, also the Table column
+    std::string name;         // legend name ("SEC", "TRB@hp"), the Table column
     std::string description;  // one-liner for `secbench --list`
     int legend_rank = 0;      // paper legend order (Fig. 2)
     bool default_set = false;  // one of the six Figure-2 competitors
     bool supports_domain = false;
     std::function<AnyStack(const StackParams&)> make;
+    // Derived by AlgorithmRegistry::add from `name` ("BASE" or "BASE@scheme"):
+    // the algorithm family and the reclamation scheme it is bound to ("" for
+    // structures without a reclaimer, i.e. CC/FC).
+    std::string base{};
+    std::string reclaim{};
 };
 
 class AlgorithmRegistry {
@@ -68,6 +72,12 @@ public:
     void add(AlgoSpec spec);
 
     const AlgoSpec* find(std::string_view name) const;
+    // Resolve an algorithm family to its binding for a reclamation scheme.
+    // The single home of the naming convention: the plain base name IS the
+    // "ebr" binding; other schemes are registered as "BASE@scheme". Returns
+    // nullptr when the combination does not exist (e.g. TSI@hp).
+    const AlgoSpec* find_variant(std::string_view base,
+                                 std::string_view scheme) const;
     // All registered algorithms / the six-competitor default set, both in
     // legend order.
     std::vector<const AlgoSpec*> all() const;
@@ -77,6 +87,29 @@ public:
 private:
     AlgorithmRegistry();
     std::vector<std::unique_ptr<AlgoSpec>> specs_;
+};
+
+// A reclamation scheme as registry data: its CLI name (`--reclaim hp`), a
+// one-liner, and a factory for a type-erased owning domain the reclamation
+// scenario hands to per-variant stack factories.
+struct ReclaimerSpec {
+    std::string name;         // scheme name: "ebr", "hp", "qsbr", "leak"
+    std::string description;  // one-liner for `secbench --list`
+    std::function<reclaim::DomainHandle()> make_domain;
+};
+
+class ReclaimerRegistry {
+public:
+    static ReclaimerRegistry& instance();
+    // Stable-pointer storage, same contract as AlgorithmRegistry::add.
+    void add(ReclaimerSpec spec);
+    const ReclaimerSpec* find(std::string_view name) const;
+    std::vector<const ReclaimerSpec*> all() const;
+    std::string names_csv() const;
+
+private:
+    ReclaimerRegistry();
+    std::vector<std::unique_ptr<ReclaimerSpec>> specs_;
 };
 
 // The six competitors of Figure 2/3 as Table columns, legend order —
@@ -96,6 +129,10 @@ struct ScenarioContext {
     std::vector<const AlgoSpec*> algos;  // selection, legend order
     std::FILE* csv = nullptr;            // optional CSV sink (secbench --csv)
     bool smoke = false;                  // tiny-budget mode (secbench --smoke)
+    // The --reclaim scheme, when given: `algos` is already rebound to its
+    // variants, and the reclamation scenario restricts its matrix to this
+    // scheme instead of sweeping all four ("" = no restriction).
+    std::string reclaim{};
 
     // Column names of the selected algorithms.
     std::vector<std::string> columns() const;

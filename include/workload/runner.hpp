@@ -40,6 +40,10 @@ struct RunConfig {
     OpMix mix = kUpdateHeavy;
     std::size_t value_range = std::size_t{1} << 20;
     unsigned runs = 1;
+    // Base seed for the per-worker op-mix RNGs (`--seed` / SEC_BENCH_SEED):
+    // worker t draws from phase_seed(seed, t, run), so two runs with the
+    // same seed replay the same op sequences for A/B comparisons.
+    std::uint64_t seed = 0;
 };
 
 struct RunResult {
@@ -56,15 +60,42 @@ inline std::size_t prefill_share(std::size_t prefill, unsigned threads,
     return share;
 }
 
+// ---- reclamation hooks -----------------------------------------------------
+
+namespace detail {
+
+// Per-iteration quiescence announcement: the point where QSBR-backed stacks
+// tell their domain "this thread holds no references". Compiles to nothing
+// for stacks without the hook (CC/FC) and for reclaimers where quiesce() is
+// a no-op (EBR/HP/leaky).
+template <class S>
+inline void quiesce_hook(S& stack) {
+    if constexpr (requires { stack.quiesce(); }) stack.quiesce();
+}
+
+// Phase-boundary withdrawal: a worker that stops operating must leave the
+// QSBR online set or it blocks reclamation forever. Every phase_* function
+// calls this on the way out.
+template <class S>
+inline void offline_hook(S& stack) {
+    if constexpr (requires { stack.reclaim_offline(); }) {
+        stack.reclaim_offline();
+    }
+}
+
+}  // namespace detail
+
 // ---- the phases ------------------------------------------------------------
 
 template <ConcurrentStack S>
 void phase_prefill(S& stack, std::size_t count, const PhaseArgs& args) {
     Xoshiro256 rng(args.seed);
     for (std::size_t i = 0; i < count; ++i) {
+        detail::quiesce_hook(stack);
         stack.push(static_cast<typename S::value_type>(
             rng.next_below(args.value_range)));
     }
+    detail::offline_hook(stack);
 }
 
 template <ConcurrentStack S>
@@ -75,6 +106,7 @@ std::uint64_t phase_mixed_until(S& stack, const std::atomic<bool>& stop,
     const unsigned pop_cut = args.mix.update_pct();
     std::uint64_t local = 0;
     while (!stop.load(std::memory_order_relaxed)) {
+        detail::quiesce_hook(stack);
         const std::uint64_t r = rng.next_below(100);
         if (r < push_cut) {
             stack.push(static_cast<typename S::value_type>(
@@ -86,6 +118,7 @@ std::uint64_t phase_mixed_until(S& stack, const std::atomic<bool>& stop,
         }
         ++local;
     }
+    detail::offline_hook(stack);
     return local;
 }
 
@@ -96,6 +129,7 @@ std::uint64_t phase_mixed_ops(S& stack, std::uint64_t count,
     const unsigned push_cut = args.mix.push_pct;
     const unsigned pop_cut = args.mix.update_pct();
     for (std::uint64_t i = 0; i < count; ++i) {
+        detail::quiesce_hook(stack);
         const std::uint64_t r = rng.next_below(100);
         if (r < push_cut) {
             stack.push(static_cast<typename S::value_type>(
@@ -106,6 +140,7 @@ std::uint64_t phase_mixed_ops(S& stack, std::uint64_t count,
             (void)stack.peek();
         }
     }
+    detail::offline_hook(stack);
     return count;
 }
 
@@ -117,6 +152,7 @@ std::uint64_t phase_timed_until(S& stack, const std::atomic<bool>& stop,
     const unsigned pop_cut = args.mix.update_pct();
     std::uint64_t local = 0;
     while (!stop.load(std::memory_order_relaxed)) {
+        detail::quiesce_hook(stack);
         const std::uint64_t r = rng.next_below(100);
         const auto t0 = std::chrono::steady_clock::now();
         if (r < push_cut) {
@@ -133,6 +169,7 @@ std::uint64_t phase_timed_until(S& stack, const std::atomic<bool>& stop,
                 .count()));
         ++local;
     }
+    detail::offline_hook(stack);
     return local;
 }
 
@@ -202,11 +239,13 @@ AnyStack erase_stack(std::unique_ptr<S> stack) {
     return AnyStack(std::make_unique<StackModel<S>>(std::move(stack)));
 }
 
-// Per-worker phase seed: distinct per (worker, run) and distinct between the
-// prefill and the measured phase of the same worker.
-inline std::uint64_t phase_seed(unsigned t, unsigned run,
+// Per-worker phase seed: deterministic in (base, worker, run, phase salt) —
+// distinct per (worker, run) and distinct between the prefill and the
+// measured phase of the same worker. `base` comes from RunConfig::seed
+// (`--seed` / SEC_BENCH_SEED); base 0 reproduces the historical seeding.
+inline std::uint64_t phase_seed(std::uint64_t base, unsigned t, unsigned run,
                                 std::uint64_t salt = 0) {
-    return (t + 1) * 0x9E3779B97F4A7C15ull + run + (salt << 32);
+    return (base + t + 1) * 0x9E3779B97F4A7C15ull + run + (salt << 32);
 }
 
 // ---- the statically-typed timed-window runner ------------------------------
@@ -234,11 +273,11 @@ RunResult run_throughput(Factory&& make, const RunConfig& cfg) {
                 args.mix = cfg.mix;
                 // Each worker loads its share of the prefill so deep
                 // prefills parallelise and (for TSI) spread across pools.
-                args.seed = phase_seed(t, run, 1);
+                args.seed = phase_seed(cfg.seed, t, run, 1);
                 phase_prefill(stack, prefill_share(cfg.prefill, cfg.threads, t),
                               args);
                 sync.arrive_and_wait();
-                args.seed = phase_seed(t, run);
+                args.seed = phase_seed(cfg.seed, t, run);
                 *ops[t] = phase_mixed_until(stack, stop, args);
             });
         }

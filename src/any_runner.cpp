@@ -27,10 +27,10 @@ void one_round(AnyStack& stack, const RunConfig& cfg, unsigned run,
             PhaseArgs args;
             args.value_range = cfg.value_range;
             args.mix = cfg.mix;
-            args.seed = phase_seed(t, run, 1);
+            args.seed = phase_seed(cfg.seed, t, run, 1);
             stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
             sync.arrive_and_wait();
-            args.seed = phase_seed(t, run);
+            args.seed = phase_seed(cfg.seed, t, run);
             *ops[t] = stack.mixed_until(stop, args);
         });
     }
@@ -88,10 +88,10 @@ LatencyHistogram run_latency_any(AnyStack& stack, const RunConfig& cfg) {
             PhaseArgs args;
             args.value_range = cfg.value_range;
             args.mix = cfg.mix;
-            args.seed = phase_seed(t, 0, 1);
+            args.seed = phase_seed(cfg.seed, t, 0, 1);
             stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
             sync.arrive_and_wait();
-            args.seed = phase_seed(t, 0);
+            args.seed = phase_seed(cfg.seed, t, 0);
             stack.timed_until(stop, args, *hists[t]);
         });
     }
@@ -104,8 +104,18 @@ LatencyHistogram run_latency_any(AnyStack& stack, const RunConfig& cfg) {
     return merged;
 }
 
-void run_churn_any(AnyStack& stack, unsigned threads,
-                   std::uint64_t ops_per_thread, std::size_t value_range) {
+double run_churn_any(AnyStack& stack, unsigned threads,
+                     std::uint64_t ops_per_thread, std::size_t value_range,
+                     std::uint64_t seed) {
+    if (threads == 0) return 0.0;
+    using Clock = std::chrono::steady_clock;
+    // Workers synchronise on a barrier (thread spawn cost must not deflate
+    // smoke-scale numbers) and time their own measured phase: a clock read
+    // on the coordinating thread can be descheduled behind the workers on
+    // an oversubscribed host, shrinking the window to near zero.
+    std::barrier sync(static_cast<std::ptrdiff_t>(threads));
+    std::vector<CacheAligned<Clock::time_point>> begins(threads);
+    std::vector<CacheAligned<Clock::time_point>> ends(threads);
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
@@ -113,11 +123,25 @@ void run_churn_any(AnyStack& stack, unsigned threads,
             PhaseArgs args;
             args.value_range = value_range;
             args.mix = kUpdateHeavy;  // balanced push/pop churn
-            args.seed = phase_seed(t, 0);
+            args.seed = phase_seed(seed, t, 0);
+            sync.arrive_and_wait();
+            *begins[t] = Clock::now();
             stack.mixed_ops(ops_per_thread, args);
+            *ends[t] = Clock::now();
         });
     }
     for (auto& w : workers) w.join();
+    Clock::time_point start = *begins[0];
+    Clock::time_point end = *ends[0];
+    for (unsigned t = 1; t < threads; ++t) {
+        if (*begins[t] < start) start = *begins[t];
+        if (*ends[t] > end) end = *ends[t];
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(end - start).count();
+    const double total =
+        static_cast<double>(threads) * static_cast<double>(ops_per_thread);
+    return us > 0 ? total / us : 0.0;
 }
 
 }  // namespace sec::bench

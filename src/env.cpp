@@ -66,6 +66,7 @@ EnvConfig EnvConfig::load() {
     cfg.value_range =
         std::max<std::size_t>(1, env_size("SEC_BENCH_VALUE_RANGE",
                                           cfg.value_range));
+    cfg.seed = env_size("SEC_BENCH_SEED", cfg.seed);
     if (const char* grid = get_env("SEC_BENCH_THREADS")) {
         std::vector<unsigned> parsed = parse_grid(grid);
         if (!parsed.empty()) cfg.threads = std::move(parsed);
@@ -90,10 +91,11 @@ void print_preamble(std::string_view bench_name, const EnvConfig& cfg) {
     std::fprintf(stderr,
                  "== %.*s ==\n"
                  "hw_threads=%u duration_ms=%u runs=%u prefill=%zu "
-                 "value_range=%zu threads=[%s]%s\n",
+                 "value_range=%zu seed=%llu threads=[%s]%s\n",
                  static_cast<int>(bench_name.size()), bench_name.data(),
                  std::thread::hardware_concurrency(), cfg.duration_ms,
-                 cfg.runs, cfg.prefill, cfg.value_range, grid.c_str(),
+                 cfg.runs, cfg.prefill, cfg.value_range,
+                 static_cast<unsigned long long>(cfg.seed), grid.c_str(),
                  env_unsigned("SEC_BENCH_PAPER", 0) ? " (paper mode)" : "");
 }
 

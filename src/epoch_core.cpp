@@ -1,47 +1,58 @@
-// ebr.cpp — epoch advancement and limbo sweeping for sec::ebr::Domain.
-#include "core/ebr.hpp"
+// epoch_core.cpp — epoch advancement and limbo sweeping for the grace-period
+// engine behind EpochDomain (EBR) and QsbrDomain.
+#include "reclaim/epoch_core.hpp"
 
-namespace sec::ebr {
-namespace {
+namespace sec::reclaim::detail {
 
-struct SpinLockGuard {
-    explicit SpinLockGuard(std::atomic_flag& f) noexcept : flag(f) {
-        sec::detail::Backoff backoff;
-        while (flag.test_and_set(std::memory_order_acquire)) {
-            backoff.pause();
-        }
-    }
-    ~SpinLockGuard() { flag.clear(std::memory_order_release); }
-    std::atomic_flag& flag;
-};
-
-}  // namespace
-
-Domain::~Domain() {
+EpochCore::~EpochCore() {
     for (std::size_t i = 0; i < kMaxThreads; ++i) sweep(i, kInactive);
 }
 
-void Domain::enter() noexcept {
-    Reservation& res = reservations_[detail::tid()];
-    if (res.nesting++ > 0) return;
+void EpochCore::validated_announce(std::atomic<std::uint64_t>& slot) noexcept {
     // Announce the current epoch; re-read to close the window where the
-    // global epoch moves between our load and our announcement.
+    // global epoch moves between our load and our announcement (an advancing
+    // peer that sampled our slot as inactive may already be sweeping).
     std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     for (;;) {
-        res.epoch.store(e, std::memory_order_seq_cst);
+        slot.store(e, std::memory_order_seq_cst);
         const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
         if (now == e) break;
         e = now;
     }
 }
 
-void Domain::exit() noexcept {
-    Reservation& res = reservations_[detail::tid()];
+void EpochCore::enter() noexcept {
+    Reservation& res = reservations_[sec::detail::tid()];
+    if (res.nesting++ > 0) return;
+    validated_announce(res.epoch);
+}
+
+void EpochCore::exit() noexcept {
+    Reservation& res = reservations_[sec::detail::tid()];
     if (--res.nesting > 0) return;
     res.epoch.store(kInactive, std::memory_order_release);
 }
 
-bool Domain::try_advance() noexcept {
+void EpochCore::quiescent() noexcept {
+    Reservation& res = reservations_[sec::detail::tid()];
+    if (res.epoch.load(std::memory_order_relaxed) == kInactive) {
+        // Offline -> online needs the full validated announce: while
+        // inactive we were invisible to advancement, exactly like an EBR
+        // enter. Once online the slot only ever moves forward, so the
+        // refresh below needs no validation loop.
+        validated_announce(res.epoch);
+        return;
+    }
+    res.epoch.store(global_epoch_.load(std::memory_order_acquire),
+                    std::memory_order_seq_cst);
+}
+
+void EpochCore::set_offline() noexcept {
+    reservations_[sec::detail::tid()].epoch.store(kInactive,
+                                                  std::memory_order_release);
+}
+
+bool EpochCore::try_advance() noexcept {
     const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
     for (const Reservation& res : reservations_) {
         const std::uint64_t v = res.epoch.load(std::memory_order_seq_cst);
@@ -53,14 +64,14 @@ bool Domain::try_advance() noexcept {
     return true;  // someone advanced past e (us or a peer)
 }
 
-bool Domain::any_active() const noexcept {
+bool EpochCore::any_active() const noexcept {
     for (const Reservation& res : reservations_) {
         if (res.epoch.load(std::memory_order_seq_cst) != kInactive) return true;
     }
     return false;
 }
 
-void Domain::sweep(std::size_t i, std::uint64_t limit) {
+void EpochCore::sweep(std::size_t i, std::uint64_t limit) {
     LimboList& list = limbo_[i];
     Chunk* reclaim = nullptr;
     {
@@ -98,15 +109,15 @@ void Domain::sweep(std::size_t i, std::uint64_t limit) {
         delete reclaim;
         reclaim = next;
     }
-    if (freed > 0) freed_total_.fetch_add(freed, std::memory_order_acq_rel);
+    counters_.note_freed(freed);
 }
 
-void Domain::retire_erased(void* p, void (*deleter)(void*)) {
-    const std::size_t id = detail::tid();
+void EpochCore::retire_erased(void* p, void (*deleter)(void*)) {
+    const std::size_t id = sec::detail::tid();
     const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
     // Count before the entry is appended (and thus freeable by a concurrent
-    // sweep): freed_count() must never be observable above retired_count().
-    retired_total_.fetch_add(1, std::memory_order_acq_rel);
+    // sweep); see Accounting::note_retired.
+    counters_.note_retired();
     bool scan = false;
     {
         LimboList& list = limbo_[id];
@@ -132,7 +143,7 @@ void Domain::retire_erased(void* p, void (*deleter)(void*)) {
     }
 }
 
-void Domain::drain_all() {
+void EpochCore::drain_all() {
     // A handful of advance attempts walks the 3-epoch pipeline fully forward
     // when there are no (or only current-epoch) readers.
     for (int i = 0; i < 4; ++i) try_advance();
@@ -143,4 +154,4 @@ void Domain::drain_all() {
     }
 }
 
-}  // namespace sec::ebr
+}  // namespace sec::reclaim::detail

@@ -1,0 +1,87 @@
+// hazard.cpp — scan-and-free batching for HazardDomain.
+#include "reclaim/hazard.hpp"
+
+#include <algorithm>
+
+namespace sec::reclaim {
+
+HazardDomain::~HazardDomain() {
+    // Contract: no Guard may outlive the domain, so every backlog entry is
+    // freeable regardless of what the (dead) slots still say.
+    std::uint64_t freed = 0;
+    for (RetiredList& list : lists_) {
+        freed += detail::free_backlog(list.items);
+    }
+    counters_.note_freed(freed);
+}
+
+void HazardDomain::collect_hazards(std::vector<void*>& out) const {
+    const std::size_t bound =
+        std::min(tid_bound_.load(std::memory_order_seq_cst), kMaxThreads);
+    out.reserve(bound * kSlotsPerThread);
+    for (std::size_t t = 0; t < bound; ++t) {
+        for (unsigned k = 0; k < kSlotsPerThread; ++k) {
+            void* p = slots_[t].hp[k].load(std::memory_order_seq_cst);
+            if (p != nullptr) out.push_back(p);
+        }
+    }
+    std::sort(out.begin(), out.end());
+}
+
+void HazardDomain::scan(std::size_t id) {
+    // Snapshot the backlog FIRST, then collect hazards. An entry retired
+    // before the swap was already unreachable by then, so any hazard that
+    // protects it was published (and validated) before the swap — the later
+    // collection must see it. The reverse order would let a reader publish
+    // a hazard between collection and swap and lose the race: drain_all()
+    // running concurrently with active readers would free a node still in
+    // use.
+    std::vector<detail::RetiredPtr> work;
+    {
+        detail::SpinLockGuard lock(lists_[id].lock);
+        work.swap(lists_[id].items);
+    }
+    std::vector<void*> hazards;
+    collect_hazards(hazards);
+
+    std::vector<detail::RetiredPtr> keep;
+    std::uint64_t freed = 0;
+    for (const detail::RetiredPtr& r : work) {
+        if (std::binary_search(hazards.begin(), hazards.end(), r.p)) {
+            keep.push_back(r);
+        } else {
+            r.deleter(r.p);
+            ++freed;
+        }
+    }
+    if (!keep.empty()) {
+        detail::SpinLockGuard lock(lists_[id].lock);
+        lists_[id].items.insert(lists_[id].items.end(), keep.begin(),
+                                keep.end());
+    }
+    counters_.note_freed(freed);
+}
+
+void HazardDomain::retire_erased(void* p, void (*deleter)(void*)) {
+    const std::size_t id = sec::detail::tid();
+    note_thread(id);
+    counters_.note_retired();
+    bool scan_now = false;
+    {
+        detail::SpinLockGuard lock(lists_[id].lock);
+        lists_[id].items.push_back({p, deleter});
+        if (++lists_[id].retires_since_scan >= kScanInterval) {
+            lists_[id].retires_since_scan = 0;
+            scan_now = true;
+        }
+    }
+    if (scan_now) scan(id);
+}
+
+void HazardDomain::drain_all() {
+    const std::size_t bound =
+        std::min(tid_bound_.load(std::memory_order_seq_cst), kMaxThreads);
+    for (std::size_t id = 0; id < bound; ++id) scan(id);
+}
+
+}  // namespace sec::reclaim

@@ -1,11 +1,14 @@
 // registry.cpp — AlgorithmRegistry (the six stacks + the ElimPool adapter
-// self-register here), ScenarioRegistry, and the shared scenario pipeline
-// (ScenarioContext helpers, run_scenario, the legacy-stub entry point).
+// self-register here, plus the algo@reclaimer cross-product),
+// ReclaimerRegistry (the four sec::reclaim schemes), ScenarioRegistry, and
+// the shared scenario pipeline (ScenarioContext helpers, run_scenario, the
+// legacy-stub entry point).
 #include "workload/registry.hpp"
 
 #include <cstdio>
 
 #include "core/elim_pool.hpp"
+#include "reclaim/reclaim.hpp"
 #include "sec.hpp"
 #include "workload/any_runner.hpp"
 
@@ -25,58 +28,133 @@ Config effective_config(const StackParams& p) {
     return cfg;
 }
 
-// Stacks constructed from a thread bound, with or without an external EBR
-// domain (CcStack/FcStack have no domain constructor — combining designs
+// Stacks with no reclamation domain (CcStack/FcStack: combining designs
 // reclaim through their combiner, so `domain` is ignored for them).
 template <ConcurrentStack S>
+AnyStack make_plain_stack(const StackParams& p) {
+    return erase_stack(make_stack<S>(tid_bound(p.threads)));
+}
+
+// Thread-bound stacks whose reclaimer is baked into S; an external domain of
+// the matching scheme is borrowed when the handle carries one.
+template <ConcurrentStack S>
 AnyStack make_bound_stack(const StackParams& p) {
-    if constexpr (std::is_constructible_v<S, std::size_t, ebr::Domain&>) {
-        if (p.domain != nullptr) {
+    using R = typename S::reclaimer_type;
+    if (p.domain != nullptr) {
+        if (R* d = p.domain->get<R>()) {
             return erase_stack(
-                std::make_unique<S>(tid_bound(p.threads), *p.domain));
+                std::make_unique<S>(tid_bound(p.threads), *d));
         }
     }
     return erase_stack(make_stack<S>(tid_bound(p.threads)));
 }
 
+template <reclaim::Reclaimer R>
 AnyStack make_sec(const StackParams& p) {
     const Config cfg = effective_config(p);
     if (p.domain != nullptr) {
-        return erase_stack(std::make_unique<SecStack<Value>>(cfg, *p.domain));
+        if (R* d = p.domain->get<R>()) {
+            return erase_stack(std::make_unique<SecStack<Value, R>>(cfg, *d));
+        }
     }
-    return erase_stack(std::make_unique<SecStack<Value>>(cfg));
+    return erase_stack(std::make_unique<SecStack<Value, R>>(cfg));
 }
 
 // ElimPool behind the stack concept: the SEC machinery on per-aggregator
 // spines, LIFO order dropped (pools don't peek).
+template <reclaim::Reclaimer R>
 struct PoolStackAdapter {
     using value_type = Value;
     explicit PoolStackAdapter(Config cfg) : pool(std::move(cfg)) {}
+    PoolStackAdapter(Config cfg, R& d) : pool(std::move(cfg), d) {}
     bool push(const value_type& v) { return pool.insert(v); }
     std::optional<value_type> pop() { return pool.extract(); }
     std::optional<value_type> peek() { return std::nullopt; }
-    ElimPool<value_type> pool;
+    void quiesce() { pool.quiesce(); }
+    void reclaim_offline() { pool.reclaim_offline(); }
+    ElimPool<value_type, R> pool;
 };
 
+template <reclaim::Reclaimer R>
 AnyStack make_pool(const StackParams& p) {
-    return erase_stack(std::make_unique<PoolStackAdapter>(effective_config(p)));
+    const Config cfg = effective_config(p);
+    if (p.domain != nullptr) {
+        if (R* d = p.domain->get<R>()) {
+            return erase_stack(
+                std::make_unique<PoolStackAdapter<R>>(cfg, *d));
+        }
+    }
+    return erase_stack(std::make_unique<PoolStackAdapter<R>>(cfg));
+}
+
+// One "BASE@scheme" spec per reclaimer-capable structure: the cross-product
+// the `--reclaim` flag and the reclamation scenario's matrix select from.
+// TSI is blanket-only (see core/tsi_stack.hpp), so it has no @hp variant.
+template <reclaim::Reclaimer R>
+void register_reclaim_variants(AlgorithmRegistry& reg, int rank) {
+    // Built with append rather than operator+ to dodge GCC 12's -Wrestrict
+    // false positive on char* + std::string concatenation.
+    auto variant = [](const char* base) {
+        std::string s(base);
+        s += '@';
+        s += R::kName;
+        return s;
+    };
+    auto desc = [](const char* base) {
+        std::string s(base);
+        s += " over the ";
+        s += R::kName;
+        s += " reclaimer";
+        return s;
+    };
+    reg.add({variant("EB"), desc("EB"), rank + 0, false, true,
+             make_bound_stack<EbStack<Value, R>>});
+    reg.add({variant("SEC"), desc("SEC"), rank + 1, false, true,
+             make_sec<R>});
+    reg.add({variant("TRB"), desc("TRB"), rank + 2, false, true,
+             make_bound_stack<TreiberStack<Value, R>>});
+    if constexpr (R::kBlanketProtection) {
+        reg.add({variant("TSI"), desc("TSI"), rank + 3, false, true,
+                 make_bound_stack<TsiStack<Value, R>>});
+    }
+    reg.add({variant("POOL"), desc("POOL"), rank + 4, false, true,
+             make_pool<R>});
 }
 
 void register_builtin_algorithms(AlgorithmRegistry& reg) {
+    // The paper's six plus POOL — EBR-backed, names/columns unchanged.
     reg.add({"CC", "CC-Synch combining stack", 0, true, false,
-             make_bound_stack<CcStack<Value>>});
+             make_plain_stack<CcStack<Value>>});
     reg.add({"EB", "Treiber + elimination-backoff collision array", 1, true,
              true, make_bound_stack<EbStack<Value>>});
     reg.add({"FC", "flat-combining stack", 2, true, false,
-             make_bound_stack<FcStack<Value>>});
+             make_plain_stack<FcStack<Value>>});
     reg.add({"SEC", "sharded elimination-combining stack (the paper)", 3, true,
-             true, make_sec});
+             true, make_sec<reclaim::EpochDomain>});
     reg.add({"TRB", "Treiber stack (single-CAS top)", 4, true, true,
              make_bound_stack<TreiberStack<Value>>});
     reg.add({"TSI", "timestamped stack (per-thread pools)", 5, true, true,
              make_bound_stack<TsiStack<Value>>});
     reg.add({"POOL", "ElimPool — SEC machinery, unordered, per-aggregator spines",
-             10, false, false, make_pool});
+             10, false, true, make_pool<reclaim::EpochDomain>});
+    // The algo@reclaimer cross-product. The plain names above ARE the @ebr
+    // bindings (no duplicate "@ebr" specs), so existing scenario keys and
+    // CSV output are unchanged.
+    register_reclaim_variants<reclaim::HazardDomain>(reg, 30);
+    register_reclaim_variants<reclaim::QsbrDomain>(reg, 40);
+    register_reclaim_variants<reclaim::LeakyDomain>(reg, 50);
+}
+
+void register_builtin_reclaimers(ReclaimerRegistry& reg) {
+    reg.add({"ebr", "epoch-based (DEBRA-style) — the paper's §4 default",
+             [] { return reclaim::DomainHandle::make<reclaim::EpochDomain>(); }});
+    reg.add({"hp", "hazard pointers — per-thread slots, scan-and-free batches",
+             [] { return reclaim::DomainHandle::make<reclaim::HazardDomain>(); }});
+    reg.add({"qsbr",
+             "quiescent-state — runner announces quiescence per iteration",
+             [] { return reclaim::DomainHandle::make<reclaim::QsbrDomain>(); }});
+    reg.add({"leak", "no-op baseline — frees only at domain destruction",
+             [] { return reclaim::DomainHandle::make<reclaim::LeakyDomain>(); }});
 }
 
 }  // namespace
@@ -91,6 +169,17 @@ AlgorithmRegistry& AlgorithmRegistry::instance() {
 }
 
 void AlgorithmRegistry::add(AlgoSpec spec) {
+    // Derive the family / scheme split from the "BASE@scheme" naming
+    // convention unless the registrant set them explicitly.
+    if (spec.base.empty()) {
+        const auto at = spec.name.find('@');
+        spec.base = spec.name.substr(0, at);
+        if (spec.reclaim.empty()) {
+            spec.reclaim = at == std::string::npos
+                               ? (spec.supports_domain ? "ebr" : "")
+                               : spec.name.substr(at + 1);
+        }
+    }
     const auto pos = std::find_if(
         specs_.begin(), specs_.end(),
         [&spec](const std::unique_ptr<AlgoSpec>& s) {
@@ -104,6 +193,15 @@ const AlgoSpec* AlgorithmRegistry::find(std::string_view name) const {
         if (s->name == name) return s.get();
     }
     return nullptr;
+}
+
+const AlgoSpec* AlgorithmRegistry::find_variant(
+    std::string_view base, std::string_view scheme) const {
+    if (scheme.empty() || scheme == "ebr") return find(base);
+    std::string name(base);
+    name += '@';
+    name += scheme;
+    return find(name);
 }
 
 std::vector<const AlgoSpec*> AlgorithmRegistry::all() const {
@@ -121,6 +219,41 @@ std::vector<const AlgoSpec*> AlgorithmRegistry::default_set() const {
 }
 
 std::string AlgorithmRegistry::names_csv() const {
+    std::string out;
+    for (const auto& s : specs_) {
+        if (!out.empty()) out += ", ";
+        out += s->name;
+    }
+    return out;
+}
+
+// ---- ReclaimerRegistry -----------------------------------------------------
+
+ReclaimerRegistry::ReclaimerRegistry() { register_builtin_reclaimers(*this); }
+
+ReclaimerRegistry& ReclaimerRegistry::instance() {
+    static ReclaimerRegistry reg;
+    return reg;
+}
+
+void ReclaimerRegistry::add(ReclaimerSpec spec) {
+    specs_.push_back(std::make_unique<ReclaimerSpec>(std::move(spec)));
+}
+
+const ReclaimerSpec* ReclaimerRegistry::find(std::string_view name) const {
+    for (const auto& s : specs_) {
+        if (s->name == name) return s.get();
+    }
+    return nullptr;
+}
+
+std::vector<const ReclaimerSpec*> ReclaimerRegistry::all() const {
+    std::vector<const ReclaimerSpec*> out;
+    for (const auto& s : specs_) out.push_back(s.get());
+    return out;
+}
+
+std::string ReclaimerRegistry::names_csv() const {
     std::string out;
     for (const auto& s : specs_) {
         if (!out.empty()) out += ", ";
@@ -179,6 +312,7 @@ RunConfig ScenarioContext::run_config(unsigned threads, const OpMix& mix,
     cfg.mix = mix;
     cfg.value_range = e.value_range;
     cfg.runs = e.runs;
+    cfg.seed = e.seed;
     return cfg;
 }
 

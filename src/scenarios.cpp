@@ -3,11 +3,14 @@
 // pipeline (selection, thread-grid series, Table/CSV emission); the per-
 // figure binaries under bench/ are two-line stubs over these, and
 // bench/secbench.cpp drives them from the command line.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/elim_pool.hpp"
+#include "reclaim/reclaim.hpp"
 #include "sec.hpp"
 #include "workload/any_runner.hpp"
 #include "workload/histogram.hpp"
@@ -234,55 +237,112 @@ int latency(const ScenarioContext& ctx) {
     return 0;
 }
 
-// ---- reclamation: EBR retired/freed/limbo accounting (paper §4) ------------
+// ---- reclamation: algo x reclaimer scheme-comparison matrix (paper §4) -----
+
+// One churn run of `spec` over a fresh domain of `scheme`; reports what the
+// amortised in-run path achieved, the limbo high-water mark, and the cost of
+// draining the backlog once the workers are quiet.
+void reclamation_cell(const ScenarioContext& ctx, const ReclaimerSpec& scheme,
+                      const AlgoSpec& spec, unsigned t, std::uint64_t ops,
+                      std::uint64_t& scheme_hwm) {
+    reclaim::DomainHandle domain = scheme.make_domain();
+    double mops = 0;
+    reclaim::Stats before;
+    double drain_us = 0;
+    reclaim::Stats after;
+    {
+        StackParams params;
+        params.threads = t;
+        params.domain = &domain;
+        AnyStack stack = spec.make(params);
+        mops = run_churn_any(stack, t, ops, ctx.env.value_range, ctx.env.seed);
+        // Snapshot BEFORE draining: what the amortised path achieved.
+        before = domain.stats();
+        const auto d0 = std::chrono::steady_clock::now();
+        domain.drain_all();
+        const auto d1 = std::chrono::steady_clock::now();
+        drain_us =
+            std::chrono::duration<double, std::micro>(d1 - d0).count();
+        after = domain.stats();
+    }
+    scheme_hwm = std::max(scheme_hwm, before.limbo_hwm);
+
+    const double freed_pct =
+        before.retired ? 100.0 * static_cast<double>(before.freed) /
+                             static_cast<double>(before.retired)
+                       : 100.0;
+    std::printf(
+        "%-10s t=%-3u %7.2f Mops/s retired=%-9llu freed-in-run=%-9llu "
+        "(%5.1f%%) limbo-hwm=%-8llu drain=%8.1fus limbo-after=%llu\n",
+        spec.name.c_str(), t, mops,
+        static_cast<unsigned long long>(before.retired),
+        static_cast<unsigned long long>(before.freed), freed_pct,
+        static_cast<unsigned long long>(before.limbo_hwm), drain_us,
+        static_cast<unsigned long long>(after.in_limbo()));
+    std::printf("CSV,reclamation,%s,%u,%llu,%llu,%llu\n", spec.name.c_str(),
+                t, static_cast<unsigned long long>(before.retired),
+                static_cast<unsigned long long>(before.freed),
+                static_cast<unsigned long long>(before.in_limbo()));
+    const std::string key = spec.name + "@t" + std::to_string(t);
+    ctx.csv_row("reclamation", key, "retired",
+                static_cast<double>(before.retired));
+    // Historical column name for the default scheme's rows; the matrix rows
+    // get the scheme-neutral name.
+    ctx.csv_row("reclamation", key,
+                scheme.name == "ebr" ? "freed_by_epochs" : "freed_in_run",
+                static_cast<double>(before.freed));
+    ctx.csv_row("reclamation", key, "limbo_at_quiesce",
+                static_cast<double>(before.in_limbo()));
+    ctx.csv_row("reclamation", key, "limbo_hwm",
+                static_cast<double>(before.limbo_hwm));
+    ctx.csv_row("reclamation", key, "drain_us", drain_us);
+    ctx.csv_row("reclamation", key, "limbo_after_drain",
+                static_cast<double>(after.in_limbo()));
+    ctx.csv_row("reclamation", key, "churn_mops", mops);
+}
 
 int reclamation(const ScenarioContext& ctx) {
     const std::uint64_t ops =
         static_cast<std::uint64_t>(ctx.env.duration_ms) * 2000;
     std::printf(
-        "# balanced push/pop churn; 'freed-by-epochs' is reclamation that\n"
-        "# happened DURING the run via amortised epoch advancement\n");
+        "# balanced push/pop churn per reclamation scheme; 'freed-in-run' is\n"
+        "# reclamation DURING the run (amortised advancement / scan batches),\n"
+        "# 'limbo-hwm' the peak unreclaimed backlog, 'drain' the cost of\n"
+        "# drain_all() once the workers are quiet (a no-op for 'leak')\n");
     const std::vector<unsigned> grid =
         ctx.smoke ? std::vector<unsigned>{2u} : std::vector<unsigned>{4u, 16u};
-    for (unsigned t : grid) {
-        for (const AlgoSpec* a : ctx.algos) {
-            if (!a->supports_domain) continue;
-            ebr::Domain domain;
-            std::uint64_t retired = 0, freed = 0, limbo = 0;
-            {
-                StackParams params;
-                params.threads = t;
-                params.domain = &domain;
-                AnyStack stack = a->make(params);
-                run_churn_any(stack, t, ops, ctx.env.value_range);
-                // Snapshot BEFORE destruction: what the amortised path
-                // achieved.
-                retired = domain.retired_count();
-                freed = domain.freed_count();
-                limbo = domain.in_limbo();
+    // The selected algorithms' families, deduped in legend order (selecting
+    // "SEC@hp" measures the SEC family across every scheme).
+    std::vector<std::string> bases;
+    for (const AlgoSpec* a : ctx.algos) {
+        if (std::find(bases.begin(), bases.end(), a->base) == bases.end()) {
+            bases.push_back(a->base);
+        }
+    }
+    auto& algo_reg = AlgorithmRegistry::instance();
+    for (const ReclaimerSpec* scheme : ReclaimerRegistry::instance().all()) {
+        // --reclaim narrows the matrix to the requested scheme (the
+        // selection was already rebound to that scheme's variants, so
+        // sweeping the others would mislabel the comparison).
+        if (!ctx.reclaim.empty() && scheme->name != ctx.reclaim) continue;
+        std::fprintf(stderr, "scheme %s — %s\n", scheme->name.c_str(),
+                     scheme->description.c_str());
+        std::uint64_t scheme_hwm = 0;
+        unsigned cells = 0;
+        for (const std::string& base : bases) {
+            const AlgoSpec* spec = algo_reg.find_variant(base, scheme->name);
+            if (spec == nullptr || !spec->supports_domain) continue;
+            for (unsigned t : grid) {
+                reclamation_cell(ctx, *scheme, *spec, t, ops, scheme_hwm);
+                ++cells;
             }
-            const double freed_pct =
-                retired ? 100.0 * static_cast<double>(freed) /
-                              static_cast<double>(retired)
-                        : 100.0;
-            std::printf(
-                "%-6s t=%-3u retired=%-10llu freed-by-epochs=%-10llu "
-                "(%5.1f%%) limbo-at-quiesce=%llu\n",
-                a->name.c_str(), t, static_cast<unsigned long long>(retired),
-                static_cast<unsigned long long>(freed), freed_pct,
-                static_cast<unsigned long long>(limbo));
-            std::printf("CSV,reclamation,%s,%u,%llu,%llu,%llu\n",
-                        a->name.c_str(), t,
-                        static_cast<unsigned long long>(retired),
-                        static_cast<unsigned long long>(freed),
-                        static_cast<unsigned long long>(limbo));
-            const std::string key = a->name + "@t" + std::to_string(t);
-            ctx.csv_row("reclamation", key, "retired",
-                        static_cast<double>(retired));
-            ctx.csv_row("reclamation", key, "freed_by_epochs",
-                        static_cast<double>(freed));
-            ctx.csv_row("reclamation", key, "limbo_at_quiesce",
-                        static_cast<double>(limbo));
+        }
+        if (cells > 0) {
+            std::printf("# scheme %-5s limbo high-water max=%llu over %u runs\n",
+                        scheme->name.c_str(),
+                        static_cast<unsigned long long>(scheme_hwm), cells);
+            ctx.csv_row("reclamation_summary", scheme->name, "limbo_hwm_max",
+                        static_cast<double>(scheme_hwm));
         }
     }
     return 0;
@@ -475,7 +535,8 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
              table1});
     reg.add({"latency", "per-op latency percentiles (paper §1 fairness claim)",
              latency});
-    reg.add({"reclamation", "EBR retired/freed/limbo accounting (paper §4)",
+    reg.add({"reclamation",
+             "algo x reclaimer matrix: throughput/limbo/drain per scheme (§4)",
              reclamation});
     reg.add({"ablation_backoff", "freezer backoff window sweep (DESIGN.md §5)",
              ablation_backoff});

@@ -69,10 +69,16 @@ void churn(unsigned threads, std::uint32_t ops_per_thread) {
 template <class S>
 class StackStressTest : public ::testing::Test {};
 
+// The six competitors on their default (EBR) reclaimer, plus the
+// hazard-pointer variants of the CAS-spine stacks — HP is the scheme whose
+// per-node protect/validate traversal most needs the TSan soak.
 using StackTypes =
     ::testing::Types<sec::CcStack<Value>, sec::EbStack<Value>,
                      sec::FcStack<Value>, sec::SecStack<Value>,
-                     sec::TreiberStack<Value>, sec::TsiStack<Value>>;
+                     sec::TreiberStack<Value>, sec::TsiStack<Value>,
+                     sec::TreiberStack<Value, sec::reclaim::HazardDomain>,
+                     sec::EbStack<Value, sec::reclaim::HazardDomain>,
+                     sec::SecStack<Value, sec::reclaim::HazardDomain>>;
 TYPED_TEST_SUITE(StackStressTest, StackTypes);
 
 TYPED_TEST(StackStressTest, BalancedChurn2Threads) {
