@@ -43,6 +43,11 @@ int usage(std::FILE* out) {
                  "reclamation scheme\n"
                  "                     (ebr default; hp / qsbr / leak pick "
                  "the ALGO@scheme variants)\n"
+                 "  --sweep SPEC       SEC tuning-surface cross-product, "
+                 "e.g. agg=1:5,backoff=0:4096\n"
+                 "                     (runs the 'sweep' scenario; ranges "
+                 "are lo:hi[:step], backoff\n"
+                 "                     doubles from 64ns without a step)\n"
                  "  --smoke            tiny smoke preset (25 ms, 2 threads, 1 "
                  "run)\n"
                  "  --paper            the paper's 5 s x 5-run methodology\n"
@@ -90,6 +95,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> algo_names;
     const char* csv_path = nullptr;
     const char* reclaim_scheme = nullptr;
+    const char* sweep_spec = nullptr;
     bool smoke = false;
     bool run_all = false;
 
@@ -136,6 +142,8 @@ int main(int argc, char** argv) {
             seed = std::strtoll(next_value(i, arg), nullptr, 10);
         } else if (std::strcmp(arg, "--reclaim") == 0) {
             reclaim_scheme = next_value(i, arg);
+        } else if (std::strcmp(arg, "--sweep") == 0) {
+            sweep_spec = next_value(i, arg);
         } else if (std::strcmp(arg, "--smoke") == 0) {
             smoke = true;
         } else if (std::strcmp(arg, "--paper") == 0) {
@@ -149,11 +157,18 @@ int main(int argc, char** argv) {
             scenarios.push_back(arg);
         }
     }
+    // --sweep SPEC implies the sweep scenario when none was named (so
+    // `secbench --sweep agg=1:5,backoff=0:4096` just works); with explicit
+    // scenarios it only parameterizes a `sweep` among them.
+    if (sweep_spec != nullptr && scenarios.empty() && !run_all) {
+        scenarios.push_back("sweep");
+    }
     if (!run_all && scenarios.empty()) return usage(stderr);
 
     sb::ScenarioContext ctx;
     ctx.env = sb::EnvConfig::load();
     ctx.smoke = smoke;
+    if (sweep_spec != nullptr) ctx.sweep_spec = sweep_spec;
     if (smoke) {
         // Tiny budget: every scenario exercised, nothing measured seriously.
         ctx.env.duration_ms = 25;

@@ -1,0 +1,180 @@
+// core/adaptive.hpp — runtime self-tuning for the SEC machinery
+// (sec::adapt): a TuningState the hot path reads with ONE relaxed load, and
+// an AdaptiveController that hill-climbs the two knobs the paper hand-tunes
+// per workload (§6/Figure 4: the 2-4 aggregator sweet spot; §3.1: the
+// freezer backoff window).
+//
+// The controller samples the per-batch degree counters (StatsSnapshot,
+// core/config.hpp) over fixed epoch windows and publishes adjustments to
+//   (a) the number of ACTIVE aggregators within [1, Config::num_aggregators]
+//   (b) the freezer backoff window in nanoseconds
+// through the TuningState. AggregatorSet (core/aggregator.hpp) re-reads the
+// state once per operation attempt and tolerates the active set shrinking or
+// growing mid-flight via its claim protocol. Modelled on flat-combining-
+// style runtime adaptation (PAPERS.md: adaptive optimisation in runtime
+// systems) — feedback-driven, no oracle, no stop-the-world reconfiguration.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "core/config.hpp"
+
+namespace sec {
+
+// The published tuning knobs, packed into ONE 64-bit atomic so a hot-path
+// reader pays a single relaxed load per operation attempt.
+//
+// Memory-ordering contract: all accesses are relaxed. A reader may observe
+// any previously published pair — arbitrarily stale, and different readers
+// may observe different pairs at the same instant — but never a torn mix of
+// two publications, because both knobs travel in the same word. Relaxed
+// suffices because the knobs are performance hints, not synchronisation:
+// every reachable (active, backoff) pair is semantically valid, and the
+// claim protocol in AggregatorSet::combine keeps correctness independent of
+// WHEN each thread observes a new pair. Nothing is ever ordered "after" a
+// tuning change.
+class TuningState {
+public:
+    struct Tuning {
+        std::uint32_t active_aggregators;  // in [1, num_aggregators]
+        std::uint64_t backoff_ns;          // freezer backoff window
+    };
+
+    TuningState(std::uint32_t active_aggregators,
+                std::uint64_t backoff_ns) noexcept {
+        store(active_aggregators, backoff_ns);
+    }
+
+    TuningState(const TuningState&) = delete;
+    TuningState& operator=(const TuningState&) = delete;
+
+    Tuning load() const noexcept {
+        const std::uint64_t p = packed_.load(std::memory_order_relaxed);
+        return {static_cast<std::uint32_t>(p >> kBackoffBits),
+                p & kBackoffMask};
+    }
+
+    void store(std::uint32_t active_aggregators,
+               std::uint64_t backoff_ns) noexcept {
+        packed_.store(
+            (static_cast<std::uint64_t>(active_aggregators) << kBackoffBits) |
+                (backoff_ns & kBackoffMask),
+            std::memory_order_relaxed);
+    }
+
+private:
+    // 48 bits of backoff (≈ 78 hours in ns — far beyond any sane window),
+    // 16 bits of active-aggregator count (kMaxAggregators is 5).
+    static constexpr unsigned kBackoffBits = 48;
+    static constexpr std::uint64_t kBackoffMask =
+        (std::uint64_t{1} << kBackoffBits) - 1;
+
+    std::atomic<std::uint64_t> packed_;
+};
+
+namespace adapt {
+
+struct Options {
+    // Epoch window between controller steps (background-thread mode).
+    // Short on purpose: the active-set climb moves ±1 per epoch, so the
+    // window start-up transient (default active count -> the workload's
+    // right count) costs at most kMaxAggregators epochs.
+    std::chrono::microseconds epoch{500};
+    // Per-batch degree band for the active-set hill step: below the band an
+    // aggregator is mostly freezing singleton batches (too many aggregators
+    // for the offered concurrency — shrink); above it batches saturate
+    // (spread the threads wider — grow).
+    double degree_low = 1.5;
+    double degree_high = 6.0;
+    // Freezer-backoff ladder: 0 <-> quantum, then doubling up to the cap.
+    std::uint64_t backoff_quantum_ns = 64;
+    std::uint64_t max_backoff_ns = 4096;
+    // A backoff probe is kept only when the objective IMPROVES by more
+    // than this fraction; anything else (including a plateau) reverts it,
+    // so under pure measurement noise the backoff oscillates around its
+    // current value instead of random-walking away from it.
+    double hysteresis = 0.10;
+    // After a failed (reverted) probe, hold the backoff still for this many
+    // epochs before probing again: without a gradient the knob should sit
+    // at its operating point, not flap every epoch.
+    std::uint32_t probe_cooldown_epochs = 8;
+    // Once the published tuning has been unchanged for `stable_epochs`
+    // consecutive steps, the background loop stretches its sleep by
+    // `stable_sleep_multiplier` — a converged controller's wakeups are pure
+    // interference (on few-core hosts they preempt a freezer mid-batch).
+    // Any published change snaps the cadence back to `epoch`.
+    std::uint32_t stable_epochs = 8;
+    std::uint32_t stable_sleep_multiplier = 8;
+    // Epochs with fewer batches than this are treated as idle and skipped.
+    std::uint64_t min_epoch_batches = 4;
+};
+
+// The epoch/sample/step loop. Feedback signal: deltas of the degree
+// counters the structure already maintains (Config::collect_stats must be
+// on). Two coupled hill climbs per epoch:
+//   active aggregators — ±1 step driven by the per-batch degree band
+//     (degree = batched_ops / batches per epoch);
+//   freezer backoff    — probe a ladder step in the current direction, keep
+//     it while batched-ops-per-epoch improves, revert and flip on regress
+//     (classic hill climbing with hysteresis).
+// step() is deterministic in its input sequence, so tests drive it directly
+// with synthetic snapshots; start() runs the same step() from a background
+// thread every Options::epoch. step() is NOT thread-safe against itself —
+// one caller at a time (the background thread, or the test).
+class AdaptiveController {
+public:
+    using Sampler = std::function<StatsSnapshot()>;
+
+    // `max_active` caps the active-set climb (the structure's configured
+    // num_aggregators). The controller never publishes outside
+    // [1, max_active] / [0, Options::max_backoff_ns].
+    AdaptiveController(TuningState& state, Sampler sampler,
+                      std::size_t max_active, Options options = {});
+    ~AdaptiveController();  // stops the background thread, if running
+
+    AdaptiveController(const AdaptiveController&) = delete;
+    AdaptiveController& operator=(const AdaptiveController&) = delete;
+
+    void start();  // spawn the epoch loop (idempotent while running)
+    void stop();   // request exit and join (idempotent)
+
+    // One controller step against a CUMULATIVE snapshot (the controller
+    // keeps the previous sample and works on deltas). `window_scale` is the
+    // length of the window this delta covers, in units of Options::epoch —
+    // the background loop passes its stability-stretched sleep factor so
+    // backoff-probe verdicts compare rates, not raw counts, across unequal
+    // windows. The per-batch degree is a ratio and needs no scaling.
+    void step(const StatsSnapshot& cumulative, double window_scale = 1.0);
+
+    std::uint64_t epochs() const noexcept { return epochs_; }
+
+private:
+    void run();
+    std::uint64_t step_backoff(std::uint64_t backoff, int direction) const;
+
+    TuningState& state_;
+    Sampler sampler_;
+    std::uint32_t max_active_;
+    Options opt_;
+
+    StatsSnapshot last_{};      // previous cumulative sample
+    std::uint64_t epochs_ = 0;  // completed steps
+
+    // Backoff hill-climb state: when probing_, the last step moved backoff
+    // away from probe_origin_ in direction_ and awaits its verdict.
+    double prev_objective_ = -1.0;
+    std::uint64_t probe_origin_ = 0;
+    int direction_ = +1;
+    bool probing_ = false;
+    std::uint32_t cooldown_ = 0;  // epochs left before the next probe
+
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+}  // namespace adapt
+}  // namespace sec

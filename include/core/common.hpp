@@ -82,6 +82,14 @@ namespace detail {
 // ids instead of marching past every per-thread array bound.
 std::size_t tid() noexcept;
 
+// Monotonic high-water mark over every id tid() has handed out: all live
+// thread ids are < tid_hwm(). Lets slot scans stop at the live prefix
+// instead of walking max_threads entries. Relaxed — a freezer with a stale
+// (smaller) view can only miss a BRAND-NEW thread's first operation, whose
+// owner re-drives its own aggregator until served (the execute retry loop),
+// and that owner's view includes itself by construction.
+std::size_t tid_hwm() noexcept;
+
 inline void cpu_relax() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
     _mm_pause();

@@ -1,5 +1,9 @@
 // core/config.hpp — SecStack/ElimPool configuration and the per-run degree
 // statistics (batching / elimination / combining, paper Table 1).
+//
+// Every knob documents its unit, its legal range, and the paper section it
+// reproduces, so a sweep spec (`secbench --sweep`) or a hand-written Config
+// can be checked against the paper without opening the implementation.
 #pragma once
 
 #include <cstddef>
@@ -10,8 +14,12 @@
 
 namespace sec {
 
+class TuningState;  // core/adaptive.hpp — runtime-adjustable knob overrides
+
 // How threads are spread across aggregators (§3.2: threads are assigned
-// "evenly"; the paper's prose example is contiguous blocks).
+// "evenly"; the paper's prose example is contiguous blocks). Under adaptive
+// tuning the same policy is applied to the ACTIVE prefix of the aggregator
+// set, so the mapping survives the active count changing at runtime.
 enum class AggregatorMapping : std::uint8_t {
     kContiguous,  // threads [0,M/K) -> agg 0, [M/K,2M/K) -> agg 1, ...
     kRoundRobin,  // thread t -> agg t % K
@@ -19,19 +27,51 @@ enum class AggregatorMapping : std::uint8_t {
 
 inline constexpr std::size_t kMaxAggregators = 5;
 
+// Upper bound on Config::freezer_backoff_ns: what a TuningState can
+// represent (48 bits of nanoseconds ≈ 78 hours — far beyond any sane
+// window), enforced by validate() so static and adaptive runs of one
+// Config can never silently diverge.
+inline constexpr std::uint64_t kMaxFreezerBackoffNs =
+    (std::uint64_t{1} << 48) - 1;
+
 struct Config {
-    // Number of aggregators (batches being formed concurrently). The paper's
-    // sweet spot for update-heavy loads is 2-4 (§6, Figure 4).
+    // Number of aggregators — concurrent batches being formed.
+    //   unit: count · legal range: [1, kMaxAggregators] (validate() throws
+    //   outside it) · paper: §3.2, swept in §6/Figure 4, whose update-heavy
+    //   sweet spot is 2-4. With `tuning` attached this becomes the CEILING
+    //   of the runtime-active set; statically it is the exact count.
     std::size_t num_aggregators = 4;
-    // Bound on concurrently-live threads using the structure. Per-thread
+    // Bound on concurrently-live threads using the structure; per-thread
     // publication slots are sized by this.
+    //   unit: threads · legal range: [1, kMaxThreads] · paper: §3 ("M
+    //   threads"). Threads with ids at or past the bound take the direct
+    //   spine path (AggregatorSet::is_overflow).
     std::size_t max_threads = kMaxThreads;
+    // Thread → aggregator assignment policy.
+    //   legal range: the two enumerators above · paper: §3.2 prose
+    //   ("evenly"); `secbench ablation_mapping` compares the two.
     AggregatorMapping mapping = AggregatorMapping::kContiguous;
-    // Backoff the freezer executes before freezing a batch, to let the batch
-    // grow and raise the elimination degree (§3.1).
+    // Backoff the freezer executes before freezing a batch, to let the
+    // batch grow and raise the elimination degree.
+    //   unit: nanoseconds (busy-wait, steady_clock granularity) · legal
+    //   range: [0, kMaxFreezerBackoffNs], validate() throws above it — 0
+    //   DISABLES the wait entirely (freeze immediately; the backoff branch
+    //   is skipped, not a zero-length
+    //   spin) · paper: §3.1; swept by `secbench ablation_backoff` and
+    //   `--sweep backoff=...`. With `tuning` attached this is only the
+    //   STARTING value; the controller moves it at runtime.
     std::uint64_t freezer_backoff_ns = 256;
     // When true, per-batch degree counters are maintained (small overhead).
+    //   paper: Table 1 metrics. Required (and forced on) for SEC@adaptive —
+    //   the counters are the controller's feedback signal.
     bool collect_stats = false;
+    // Optional runtime tuning overrides (non-owning; the pointee must
+    // outlive every structure built from this Config). When set, the hot
+    // path reads {active aggregators, freezer backoff} from it with one
+    // relaxed load per operation attempt and the values above act as
+    // ceiling/start respectively; when null, behaviour and performance are
+    // exactly the static paper configuration. See core/adaptive.hpp.
+    const TuningState* tuning = nullptr;
 
     void validate() const {
         if (num_aggregators < 1 || num_aggregators > kMaxAggregators) {
@@ -46,13 +86,22 @@ struct Config {
             mapping != AggregatorMapping::kRoundRobin) {
             throw std::invalid_argument("sec::Config: unknown mapping");
         }
+        if (freezer_backoff_ns > kMaxFreezerBackoffNs) {
+            // TuningState packs the backoff into 48 bits; allowing more
+            // here would make an adaptive run silently truncate what the
+            // same Config spins statically.
+            throw std::invalid_argument(
+                "sec::Config: freezer_backoff_ns must be < 2^48");
+        }
     }
 };
 
 // Snapshot of the degree counters (Table 1 metrics). `batched_ops` counts
 // operations that went through a frozen batch; of those, `eliminated_ops`
 // were matched push/pop pairs and `combined_ops` were applied to the central
-// structure by the combiner.
+// structure by the combiner. Also the feedback signal of the sec::adapt
+// controller (core/adaptive.hpp), which works on per-epoch deltas of a
+// cumulative snapshot.
 struct StatsSnapshot {
     std::uint64_t batches = 0;
     std::uint64_t batched_ops = 0;

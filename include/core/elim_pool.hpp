@@ -6,6 +6,11 @@
 // falls back to stealing from sibling spines when the local one is empty.
 // bench/ablation_pool_vs_stack.cpp measures what that buys. Reclamation is
 // pluggable (sec::reclaim); EBR remains the default.
+//
+// Adaptivity note: with Config::tuning attached, combines land only on the
+// active prefix of the aggregator set, but extract()'s steal loop always
+// walks ALL num_aggregators spines — values parked on a since-deactivated
+// aggregator's spine stay reachable after a shrink.
 #pragma once
 
 #include <atomic>

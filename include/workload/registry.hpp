@@ -133,6 +133,10 @@ struct ScenarioContext {
     // variants, and the reclamation scenario restricts its matrix to this
     // scheme instead of sweeping all four ("" = no restriction).
     std::string reclaim{};
+    // The --sweep spec, when given; the `sweep` scenario parses it
+    // (workload/sweep.hpp) and falls back to a small default grid when
+    // empty.
+    std::string sweep_spec{};
 
     // Column names of the selected algorithms.
     std::vector<std::string> columns() const;

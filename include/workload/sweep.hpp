@@ -1,0 +1,57 @@
+// workload/sweep.hpp — the secbench parameter-sweep engine: cross-product
+// runs over the SEC tuning knobs (aggregator count x freezer backoff),
+// emitting long-form CSV so the paper's tuning surfaces (§6/Figure 4 and
+// the §3.1 backoff sweet spot) can be regenerated on any machine and fed
+// back into static Configs — or compared against what SEC@adaptive finds at
+// runtime (the `tuning` scenario).
+//
+//   secbench sweep --sweep agg=1:5,backoff=0:4096
+//   secbench --sweep agg=1:2,backoff=0:256 --smoke --csv sweep.csv
+//
+// Spec grammar (comma-separated knobs, each a value, an inclusive range, or
+// a stepped range):
+//   agg=3            one value
+//   agg=1:5          1,2,3,4,5          (unit step)
+//   backoff=0:4096   0,64,128,...,4096  (geometric doubling from 64ns; a 0
+//                                        lower bound contributes the
+//                                        backoff-disabled point)
+//   backoff=0:4096:1024   0,1024,2048,3072,4096  (explicit additive step)
+// Omitted knobs pin to the Config default. See REPRODUCING.md for the CSV
+// schema contract (`sweep,<threads>,agg<A>_bo<B>,<mops>`).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/registry.hpp"
+
+namespace sec::bench {
+
+struct SweepSpec {
+    std::vector<std::size_t> aggs;          // aggregator counts to sweep
+    std::vector<std::uint64_t> backoffs;    // freezer backoff windows (ns)
+
+    // Parse "agg=1:5,backoff=0:4096". Returns nullopt and sets `error` on a
+    // malformed spec (unknown knob, empty/backwards range, agg outside
+    // [1, kMaxAggregators]). Omitted knobs default to the Config defaults.
+    static std::optional<SweepSpec> parse(std::string_view spec,
+                                          std::string* error = nullptr);
+
+    std::size_t combinations() const noexcept {
+        return aggs.size() * backoffs.size();
+    }
+};
+
+// Run the cross-product over the context's thread grid and selection: each
+// (agg, backoff) combination becomes a Table column "agg<A>_bo<B>" measured
+// with the update-heavy mix (where tuning matters most). Uses the SEC
+// variant of the current selection when one is selected, plain SEC
+// otherwise. Prints the table, appends long-form CSV to the context's sink,
+// and reports the per-thread-count argmax so README's "choosing
+// num_aggregators" guidance can cite real output.
+int run_sweep(const ScenarioContext& ctx, const SweepSpec& spec);
+
+}  // namespace sec::bench

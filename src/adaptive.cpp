@@ -1,0 +1,163 @@
+// adaptive.cpp — the sec::adapt controller step: degree-band feedback for
+// the active-aggregator count, hill climbing with hysteresis for the
+// freezer backoff window. See core/adaptive.hpp for the contract and
+// DESIGN.md §5 for the rationale.
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+
+namespace sec::adapt {
+
+AdaptiveController::AdaptiveController(TuningState& state, Sampler sampler,
+                                       std::size_t max_active, Options options)
+    : state_(state),
+      sampler_(std::move(sampler)),
+      max_active_(static_cast<std::uint32_t>(std::max<std::size_t>(
+          1, std::min<std::size_t>(max_active, kMaxAggregators)))),
+      opt_(options) {}
+
+AdaptiveController::~AdaptiveController() { stop(); }
+
+void AdaptiveController::start() {
+    if (thread_.joinable()) return;
+    stop_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread(&AdaptiveController::run, this);
+}
+
+void AdaptiveController::stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+}
+
+void AdaptiveController::run() {
+    std::uint32_t stable = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+        const bool settled = stable >= opt_.stable_epochs;
+        const std::uint32_t scale =
+            settled ? opt_.stable_sleep_multiplier : 1;
+        std::this_thread::sleep_for(opt_.epoch * scale);
+        if (stop_.load(std::memory_order_relaxed)) break;
+        const TuningState::Tuning before = state_.load();
+        step(sampler_(), static_cast<double>(scale));
+        const TuningState::Tuning after = state_.load();
+        if (after.active_aggregators == before.active_aggregators &&
+            after.backoff_ns == before.backoff_ns) {
+            if (!settled) ++stable;
+        } else {
+            stable = 0;
+        }
+    }
+}
+
+// One ladder move: 0 <-> quantum, then ×2 / ÷2, clamped to
+// [0, Options::max_backoff_ns]. Returns the input unchanged at the rails.
+std::uint64_t AdaptiveController::step_backoff(std::uint64_t backoff,
+                                               int direction) const {
+    if (direction > 0) {
+        if (backoff >= opt_.max_backoff_ns) return backoff;
+        if (backoff == 0) {
+            return std::min(opt_.backoff_quantum_ns, opt_.max_backoff_ns);
+        }
+        return std::min(backoff * 2, opt_.max_backoff_ns);
+    }
+    if (backoff <= opt_.backoff_quantum_ns) return 0;
+    return backoff / 2;
+}
+
+void AdaptiveController::step(const StatsSnapshot& cumulative,
+                              double window_scale) {
+    StatsSnapshot d;
+    d.batches = cumulative.batches - last_.batches;
+    d.batched_ops = cumulative.batched_ops - last_.batched_ops;
+    d.eliminated_ops = cumulative.eliminated_ops - last_.eliminated_ops;
+    d.combined_ops = cumulative.combined_ops - last_.combined_ops;
+    last_ = cumulative;
+    ++epochs_;
+
+    if (d.batches < opt_.min_epoch_batches) {
+        // Idle (or near-idle) epoch: no signal, and none will come for the
+        // open probe — revert its unverified value (same invariant as the
+        // active-set-move branch below: only demonstrated improvements may
+        // move the operating point) and drop the stale objective so it
+        // can't steer the next probe.
+        if (probing_) {
+            const TuningState::Tuning t = state_.load();
+            if (t.backoff_ns != probe_origin_) {
+                state_.store(t.active_aggregators, probe_origin_);
+            }
+        }
+        probing_ = false;
+        prev_objective_ = -1.0;
+        return;
+    }
+
+    const TuningState::Tuning t = state_.load();
+    std::uint32_t active =
+        std::clamp<std::uint32_t>(t.active_aggregators, 1, max_active_);
+
+    // (a) Active set: ±1 hill step on the per-batch degree. Shrinking packs
+    // the same threads into fewer batches (degree and elimination chance
+    // rise); growing spreads them (freezer serialisation falls).
+    const double degree = static_cast<double>(d.batched_ops) /
+                          static_cast<double>(d.batches);
+    if (degree < opt_.degree_low && active > 1) {
+        --active;
+    } else if (degree > opt_.degree_high && active < max_active_) {
+        ++active;
+    }
+
+    // (b) Freezer backoff: hill climb on batched-ops-per-epoch, only across
+    // epochs where the active set held still — a simultaneous active-set
+    // move would contaminate the probe's verdict.
+    std::uint64_t backoff = t.backoff_ns;
+    if (active == t.active_aggregators) {
+        // Rate, not count: deltas from a stability-stretched window would
+        // otherwise dwarf the 1x-window verdict epoch that follows a probe
+        // (the probe's publish resets the cadence), auto-reverting every
+        // probe regardless of merit.
+        const double objective =
+            static_cast<double>(d.batched_ops) /
+            (window_scale > 0.0 ? window_scale : 1.0);
+        const bool open_probe = probing_ && prev_objective_ >= 0.0;
+        if (!open_probe && cooldown_ > 0) {
+            // Post-revert cooldown: hold the operating point; a knob with
+            // no demonstrated gradient should not flap every epoch.
+            --cooldown_;
+        } else if (!open_probe ||
+                   objective >= prev_objective_ * (1.0 + opt_.hysteresis)) {
+            // No probe pending, or the last one paid off: probe (further)
+            // in the current direction.
+            prev_objective_ = objective;
+            probe_origin_ = backoff;
+            backoff = step_backoff(backoff, direction_);
+            probing_ = backoff != probe_origin_;
+            if (!probing_) direction_ = -direction_;  // at a rail: turn
+        } else {
+            // The probe didn't clearly pay off (regress OR plateau): revert
+            // it and explore the other direction after a cooldown. Only
+            // clear improvements move the operating point, so noise cannot
+            // walk the backoff away from a good setting.
+            backoff = probe_origin_;
+            direction_ = -direction_;
+            probing_ = false;
+            prev_objective_ = -1.0;
+            cooldown_ = opt_.probe_cooldown_epochs;
+        }
+    } else {
+        // An active-set move contaminates the pending probe's verdict:
+        // revert the unverified probed value (never adopt it blind), and
+        // let the climb restart once the active set settles.
+        if (probing_) backoff = probe_origin_;
+        probing_ = false;
+        prev_objective_ = -1.0;
+    }
+
+    // Publish only real changes: the TuningState cache line is read on
+    // every hot-path operation, and a no-op store from a settled controller
+    // would still invalidate it in every worker's cache each epoch.
+    if (active != t.active_aggregators || backoff != t.backoff_ns) {
+        state_.store(active, backoff);
+    }
+}
+
+}  // namespace sec::adapt

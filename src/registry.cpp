@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "core/adaptive.hpp"
 #include "core/elim_pool.hpp"
 #include "reclaim/reclaim.hpp"
 #include "sec.hpp"
@@ -87,6 +88,47 @@ AnyStack make_pool(const StackParams& p) {
     return erase_stack(std::make_unique<PoolStackAdapter<R>>(cfg));
 }
 
+// SEC plus the sec::adapt runtime controller, as one self-contained stack:
+// the TuningState the hot path reads, the stack wired to it, and the
+// background controller sampling the stack's degree counters every epoch.
+// Member order is the lifetime contract — the controller is declared last,
+// so it stops (joins) before the stack and the tuning state it reads die.
+struct AdaptiveSecStack {
+    using value_type = Value;
+
+    static Config wire(Config cfg, const TuningState* tuning) {
+        cfg.collect_stats = true;  // the controller's feedback signal
+        cfg.tuning = tuning;
+        return cfg;
+    }
+
+    explicit AdaptiveSecStack(const Config& cfg)
+        : tuning(static_cast<std::uint32_t>(cfg.num_aggregators),
+                 cfg.freezer_backoff_ns),
+          stack(wire(cfg, &tuning)),
+          controller(
+              tuning, [this] { return stack.stats(); },
+              cfg.num_aggregators) {
+        controller.start();
+    }
+
+    bool push(const value_type& v) { return stack.push(v); }
+    std::optional<value_type> pop() { return stack.pop(); }
+    std::optional<value_type> peek() const { return stack.peek(); }
+    void quiesce() { stack.quiesce(); }
+    void reclaim_offline() { stack.reclaim_offline(); }
+    StatsSnapshot stats() const { return stack.stats(); }
+
+    TuningState tuning;
+    SecStack<Value> stack;
+    adapt::AdaptiveController controller;
+};
+
+AnyStack make_adaptive_sec(const StackParams& p) {
+    return erase_stack(
+        std::make_unique<AdaptiveSecStack>(effective_config(p)));
+}
+
 // One "BASE@scheme" spec per reclaimer-capable structure: the cross-product
 // the `--reclaim` flag and the reclamation scenario's matrix select from.
 // TSI is blanket-only (see core/tsi_stack.hpp), so it has no @hp variant.
@@ -137,6 +179,13 @@ void register_builtin_algorithms(AlgorithmRegistry& reg) {
              make_bound_stack<TsiStack<Value>>});
     reg.add({"POOL", "ElimPool — SEC machinery, unordered, per-aggregator spines",
              10, false, true, make_pool<reclaim::EpochDomain>});
+    // SEC under the sec::adapt runtime controller. base is set to the full
+    // name on purpose: adaptivity is not a reclamation scheme, so --reclaim
+    // must not silently rebind SEC@adaptive to SEC@hp (it reports "no
+    // variant" and drops it instead).
+    reg.add({"SEC@adaptive",
+             "SEC self-tuning active aggregators + freezer backoff at runtime",
+             20, false, false, make_adaptive_sec, "SEC@adaptive", "ebr"});
     // The algo@reclaimer cross-product. The plain names above ARE the @ebr
     // bindings (no duplicate "@ebr" specs), so existing scenario keys and
     // CSV output are unchanged.

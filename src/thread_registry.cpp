@@ -11,12 +11,16 @@ namespace {
 
 std::mutex g_mutex;
 std::bitset<kMaxThreads> g_in_use;
+std::atomic<std::size_t> g_hwm{0};  // see tid_hwm()
 
 std::size_t acquire_id() {
     std::lock_guard<std::mutex> lock(g_mutex);
     for (std::size_t i = 0; i < kMaxThreads; ++i) {
         if (!g_in_use.test(i)) {
             g_in_use.set(i);
+            if (i + 1 > g_hwm.load(std::memory_order_relaxed)) {
+                g_hwm.store(i + 1, std::memory_order_relaxed);
+            }
             return i;
         }
     }
@@ -41,6 +45,10 @@ struct TidHolder {
 std::size_t tid() noexcept {
     thread_local TidHolder holder;
     return holder.id;
+}
+
+std::size_t tid_hwm() noexcept {
+    return g_hwm.load(std::memory_order_relaxed);
 }
 
 }  // namespace sec::detail

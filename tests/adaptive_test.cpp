@@ -1,0 +1,344 @@
+// adaptive_test.cpp — the sec::adapt subsystem: TuningState packing, the
+// controller's deterministic step() behaviour (convergence of the active
+// set under low/high contention signals, the backoff hill climb and its
+// bounds), and semantics of an adaptively-tuned SecStack under churn —
+// including forced rapid active-set flips, the migration case the claim
+// protocol in AggregatorSet::combine exists for.
+//
+// Controller convergence is tested by driving step() directly with
+// synthetic cumulative snapshots: the controller is deterministic in its
+// input sequence, so none of these tests depend on scheduling or core
+// count (this suite must pass on a 1-core host).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "sec.hpp"
+#include "workload/registry.hpp"
+
+namespace {
+
+using Value = std::uint64_t;
+using sec::StatsSnapshot;
+using sec::TuningState;
+namespace adapt = sec::adapt;
+
+// A controller wired for manual stepping: the sampler is never called.
+adapt::AdaptiveController manual_controller(TuningState& state,
+                                            std::size_t max_active,
+                                            adapt::Options opt = {}) {
+    return adapt::AdaptiveController(
+        state, [] { return StatsSnapshot{}; }, max_active, opt);
+}
+
+// Cumulative snapshot advanced by one epoch of `batches` batches with mean
+// per-batch degree `degree` (all combined; elimination split is irrelevant
+// to the controller).
+void advance_epoch(StatsSnapshot& cum, std::uint64_t batches, double degree) {
+    const auto ops = static_cast<std::uint64_t>(
+        static_cast<double>(batches) * degree);
+    cum.batches += batches;
+    cum.batched_ops += ops;
+    cum.combined_ops += ops;
+}
+
+TEST(TuningState, PackedRoundTrip) {
+    TuningState state(1, 0);
+    for (std::uint32_t active : {1u, 2u, 5u}) {
+        for (std::uint64_t backoff :
+             {std::uint64_t{0}, std::uint64_t{256},
+              (std::uint64_t{1} << 48) - 1}) {
+            state.store(active, backoff);
+            const TuningState::Tuning t = state.load();
+            EXPECT_EQ(t.active_aggregators, active);
+            EXPECT_EQ(t.backoff_ns, backoff);
+        }
+    }
+}
+
+TEST(AdaptiveController, ShrinksActiveSetUnderLowContention) {
+    TuningState state(4, 256);
+    auto ctrl = manual_controller(state, 4);
+    StatsSnapshot cum;
+    // Low contention: batches barely beyond singletons — one thread at a
+    // time reaches the freezer, spreading across 4 aggregators is waste.
+    for (int i = 0; i < 8; ++i) {
+        advance_epoch(cum, 100, 1.1);
+        ctrl.step(cum);
+    }
+    EXPECT_EQ(state.load().active_aggregators, 1u);
+    EXPECT_EQ(ctrl.epochs(), 8u);
+}
+
+TEST(AdaptiveController, GrowsActiveSetUnderHighContention) {
+    TuningState state(1, 256);
+    auto ctrl = manual_controller(state, 4);
+    StatsSnapshot cum;
+    // High contention: batches saturate (degree 10 per batch) — spread the
+    // load across more aggregators.
+    for (int i = 0; i < 8; ++i) {
+        advance_epoch(cum, 100, 10.0);
+        ctrl.step(cum);
+    }
+    EXPECT_EQ(state.load().active_aggregators, 4u);
+}
+
+TEST(AdaptiveController, ActiveSetStaysWithinBounds) {
+    TuningState state(2, 256);
+    auto ctrl = manual_controller(state, 3);
+    StatsSnapshot cum;
+    for (int i = 0; i < 20; ++i) {
+        advance_epoch(cum, 100, 20.0);  // push up, hard
+        ctrl.step(cum);
+        const auto t = state.load();
+        EXPECT_GE(t.active_aggregators, 1u);
+        EXPECT_LE(t.active_aggregators, 3u);
+    }
+    EXPECT_EQ(state.load().active_aggregators, 3u);
+    for (int i = 0; i < 20; ++i) {
+        advance_epoch(cum, 100, 1.0);  // and all the way down
+        ctrl.step(cum);
+        const auto t = state.load();
+        EXPECT_GE(t.active_aggregators, 1u);
+        EXPECT_LE(t.active_aggregators, 3u);
+    }
+    EXPECT_EQ(state.load().active_aggregators, 1u);
+}
+
+TEST(AdaptiveController, InBandDegreeHoldsTheActiveSet) {
+    TuningState state(2, 256);
+    adapt::Options opt;
+    auto ctrl = manual_controller(state, 4, opt);
+    StatsSnapshot cum;
+    const double mid = (opt.degree_low + opt.degree_high) / 2.0;
+    for (int i = 0; i < 10; ++i) {
+        advance_epoch(cum, 100, mid);
+        ctrl.step(cum);
+    }
+    EXPECT_EQ(state.load().active_aggregators, 2u);
+}
+
+TEST(AdaptiveController, BackoffClimbsWhileTheObjectiveImproves) {
+    TuningState state(2, 256);
+    adapt::Options opt;
+    auto ctrl = manual_controller(state, 4, opt);
+    StatsSnapshot cum;
+    const double mid = (opt.degree_low + opt.degree_high) / 2.0;
+    // Rising ops-per-epoch at in-band degree: every probe pays off, so the
+    // ladder keeps climbing 256 -> 512 -> 1024 -> 2048 -> 4096 (the cap).
+    std::uint64_t batches = 100;
+    for (int i = 0; i < 4; ++i) {
+        advance_epoch(cum, batches, mid);
+        ctrl.step(cum);
+        batches = batches * 12 / 10;  // +20% >> 5% hysteresis
+    }
+    EXPECT_EQ(state.load().backoff_ns, opt.max_backoff_ns);
+    // A clear regress reverts the last probe (back to its origin, 2048)
+    // and flips direction.
+    advance_epoch(cum, 50, mid);
+    ctrl.step(cum);
+    EXPECT_EQ(state.load().backoff_ns, 2048u);
+}
+
+TEST(AdaptiveController, BackoffStaysWithinLadderBounds) {
+    TuningState state(1, 64);
+    adapt::Options opt;
+    auto ctrl = manual_controller(state, 1, opt);  // active pinned at 1
+    StatsSnapshot cum;
+    // Monotonically falling objective: every probe regresses, so the
+    // controller oscillates around the origin — and must never leave
+    // [0, max_backoff_ns].
+    std::uint64_t batches = 1u << 20;
+    for (int i = 0; i < 32; ++i) {
+        advance_epoch(cum, batches, 3.0);
+        ctrl.step(cum);
+        const auto t = state.load();
+        EXPECT_LE(t.backoff_ns, opt.max_backoff_ns);
+        batches = batches * 8 / 10;
+    }
+}
+
+TEST(AdaptiveController, ActiveSetMoveRevertsAnOpenProbe) {
+    TuningState state(2, 256);
+    adapt::Options opt;
+    auto ctrl = manual_controller(state, 4, opt);
+    StatsSnapshot cum;
+    const double mid = (opt.degree_low + opt.degree_high) / 2.0;
+    advance_epoch(cum, 100, mid);
+    ctrl.step(cum);  // opens a probe: 256 -> 512, verdict pending
+    EXPECT_EQ(state.load().backoff_ns, 512u);
+    advance_epoch(cum, 100, 10.0);  // degree leaves the band: active moves
+    ctrl.step(cum);
+    const TuningState::Tuning t = state.load();
+    EXPECT_EQ(t.active_aggregators, 3u);
+    // The probe's verdict was contaminated — the unverified value must be
+    // reverted, not adopted as the new operating point.
+    EXPECT_EQ(t.backoff_ns, 256u);
+}
+
+TEST(AdaptiveController, ProbeVerdictsCompareRatesAcrossUnequalWindows) {
+    // A probe opened against a stability-stretched (8x) window must be
+    // judged as a rate: the same per-epoch throughput over the following
+    // 1x verdict window is a plateau (revert to origin), not an 8x
+    // regression that would auto-revert every probe on raw counts.
+    TuningState state(1, 256);
+    adapt::Options opt;
+    auto ctrl = manual_controller(state, 1, opt);  // active pinned at 1
+    StatsSnapshot cum;
+    advance_epoch(cum, 8 * 100, 3.0);
+    ctrl.step(cum, 8.0);  // settled window: opens a probe at rate 100/epoch
+    EXPECT_EQ(state.load().backoff_ns, 512u);
+    advance_epoch(cum, 100, 3.0);
+    ctrl.step(cum, 1.0);  // same rate over 1x: plateau -> revert to origin
+    EXPECT_EQ(state.load().backoff_ns, 256u);
+
+    // And a genuine rate improvement over the short window keeps the probe
+    // even though its raw count is 4x smaller than the baseline's.
+    state.store(1, 256);
+    auto ctrl2 = manual_controller(state, 1, opt);
+    StatsSnapshot cum2;
+    advance_epoch(cum2, 8 * 100, 3.0);
+    ctrl2.step(cum2, 8.0);  // probe 256 -> 512 at rate 100/epoch
+    advance_epoch(cum2, 200, 3.0);
+    ctrl2.step(cum2, 1.0);  // rate 200/epoch: kept, probe on to 1024
+    EXPECT_EQ(state.load().backoff_ns, 1024u);
+}
+
+TEST(AdaptiveController, IdleEpochsLeaveTuningUntouched) {
+    TuningState state(3, 512);
+    auto ctrl = manual_controller(state, 4);
+    StatsSnapshot cum;
+    advance_epoch(cum, 2, 1.0);  // below min_epoch_batches
+    ctrl.step(cum);
+    ctrl.step(cum);  // zero-delta epoch
+    const auto t = state.load();
+    EXPECT_EQ(t.active_aggregators, 3u);
+    EXPECT_EQ(t.backoff_ns, 512u);
+}
+
+TEST(AdaptiveController, IdleEpochRevertsAnOpenProbe) {
+    // A probe whose verdict epoch turns out idle gets no verdict at all;
+    // keeping the unverified value would let alternating busy/idle epochs
+    // ratchet the backoff across the whole ladder unexamined.
+    TuningState state(1, 256);
+    adapt::Options opt;
+    auto ctrl = manual_controller(state, 1, opt);  // active pinned at 1
+    StatsSnapshot cum;
+    advance_epoch(cum, 100, 3.0);
+    ctrl.step(cum);  // opens a probe: 256 -> 512
+    EXPECT_EQ(state.load().backoff_ns, 512u);
+    advance_epoch(cum, 1, 1.0);  // idle: below min_epoch_batches
+    ctrl.step(cum);
+    EXPECT_EQ(state.load().backoff_ns, 256u);
+}
+
+// ---- integration: an adaptively-tuned SecStack under real churn ------------
+
+constexpr Value tag(unsigned thread, std::uint32_t seq) {
+    return (static_cast<Value>(thread + 1) << 32) | seq;
+}
+
+// Balanced churn against `stack` with per-value provenance; every popped
+// value must have been pushed exactly once (the stack_stress_test check,
+// here under live tuning changes).
+void churn_and_verify(sec::SecStack<Value>& stack, unsigned threads,
+                      std::uint32_t ops_per_thread) {
+    std::vector<std::vector<Value>> pushed(threads);
+    std::vector<std::vector<Value>> popped(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
+            std::uint32_t seq = 0;
+            for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
+                if (rng.next_below(2) == 0) {
+                    const Value v = tag(t, seq++);
+                    stack.push(v);
+                    pushed[t].push_back(v);
+                } else if (auto v = stack.pop()) {
+                    popped[t].push_back(*v);
+                }
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+
+    std::vector<Value> all_pushed, all_popped;
+    for (unsigned t = 0; t < threads; ++t) {
+        all_pushed.insert(all_pushed.end(), pushed[t].begin(),
+                          pushed[t].end());
+        all_popped.insert(all_popped.end(), popped[t].begin(),
+                          popped[t].end());
+    }
+    while (auto v = stack.pop()) all_popped.push_back(*v);
+    std::sort(all_pushed.begin(), all_pushed.end());
+    std::sort(all_popped.begin(), all_popped.end());
+    ASSERT_EQ(all_popped.size(), all_pushed.size());
+    EXPECT_EQ(all_popped, all_pushed)
+        << "value lost, duplicated, or invented under adaptive churn";
+}
+
+TEST(AdaptiveIntegration, ControllerDrivenStackKeepsSemanticsUnderChurn) {
+    TuningState tuning(4, 256);
+    sec::Config cfg;
+    cfg.max_threads = 16;
+    cfg.collect_stats = true;
+    cfg.tuning = &tuning;
+    sec::SecStack<Value> stack(cfg);
+    adapt::Options opt;
+    opt.epoch = std::chrono::microseconds(200);  // many epochs per run
+    adapt::AdaptiveController ctrl(
+        tuning, [&stack] { return stack.stats(); }, cfg.num_aggregators, opt);
+    ctrl.start();
+    churn_and_verify(stack, 4, 20000);
+    ctrl.stop();
+    EXPECT_GT(ctrl.epochs(), 0u);
+}
+
+TEST(AdaptiveIntegration, SurvivesRapidActiveSetFlips) {
+    // No controller: a hostile toggler slams the tuning between the two
+    // extremes as fast as it can while workers churn — the migration storm
+    // the claim protocol must survive without losing or duplicating ops.
+    TuningState tuning(4, 0);
+    sec::Config cfg;
+    cfg.max_threads = 16;
+    cfg.tuning = &tuning;
+    sec::SecStack<Value> stack(cfg);
+    std::atomic<bool> stop{false};
+    std::thread toggler([&] {
+        bool wide = false;
+        while (!stop.load(std::memory_order_relaxed)) {
+            tuning.store(wide ? 4 : 1, wide ? 4096 : 0);
+            wide = !wide;
+            std::this_thread::yield();
+        }
+    });
+    churn_and_verify(stack, 4, 20000);
+    stop.store(true, std::memory_order_relaxed);
+    toggler.join();
+}
+
+TEST(AdaptiveIntegration, RegistryAdaptiveVariantRoundTrips) {
+    // SEC@adaptive through the type-erased registry path: LIFO semantics
+    // hold single-threaded, and the degree counters are live (the
+    // controller's feedback contract).
+    auto& reg = sec::bench::AlgorithmRegistry::instance();
+    const sec::bench::AlgoSpec* spec = reg.find("SEC@adaptive");
+    ASSERT_NE(spec, nullptr);
+    EXPECT_EQ(spec->base, "SEC@adaptive");  // not a --reclaim rebind target
+    sec::bench::StackParams params;
+    params.threads = 2;
+    sec::AnyStack stack = spec->make(params);
+    ASSERT_TRUE(static_cast<bool>(stack));
+    for (Value v = 1; v <= 64; ++v) stack.push(v);
+    for (Value v = 64; v >= 1; --v) EXPECT_EQ(stack.pop(), v);
+    EXPECT_FALSE(stack.pop().has_value());
+    EXPECT_TRUE(stack.has_stats());
+}
+
+}  // namespace

@@ -3,12 +3,16 @@
 // the runner's threads==0 guard, and a smoke scenario run.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdio>
 #include <set>
+#include <string>
 
 #include "../bench/bench_common.hpp"
 #include "sec.hpp"
 #include "workload/any_runner.hpp"
 #include "workload/registry.hpp"
+#include "workload/sweep.hpp"
 
 namespace sb = sec::bench;
 
@@ -140,7 +144,8 @@ TEST(ScenarioRegistry, ListsAtLeastEightScenarios) {
     EXPECT_GE(reg.all().size(), 8u);
     for (const char* name :
          {"fig2", "fig3", "fig4", "table1", "latency", "reclamation",
-          "ablation_backoff", "ablation_mapping", "ablation_pool", "micro"}) {
+          "sweep", "tuning", "ablation_backoff", "ablation_mapping",
+          "ablation_pool", "micro"}) {
         EXPECT_NE(reg.find(name), nullptr) << name;
     }
 }
@@ -150,6 +155,112 @@ TEST(ScenarioRegistry, UnknownScenarioReturnsNonZero) {
     ctx.env = sb::EnvConfig::load();
     ctx.algos = sb::AlgorithmRegistry::instance().default_set();
     EXPECT_EQ(sb::run_scenario("no_such_scenario", ctx), 2);
+}
+
+// ---- the sweep engine (workload/sweep.hpp) ---------------------------------
+
+TEST(SweepSpec, ParsesRangesValuesAndSteps) {
+    const auto spec = sb::SweepSpec::parse("agg=1:3,backoff=0:256");
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->aggs, (std::vector<std::size_t>{1, 2, 3}));
+    // Backoff ranges double from the 64ns quantum; lo==0 adds the
+    // backoff-disabled point.
+    EXPECT_EQ(spec->backoffs, (std::vector<std::uint64_t>{0, 64, 128, 256}));
+    EXPECT_EQ(spec->combinations(), 12u);
+
+    const auto stepped = sb::SweepSpec::parse("backoff=0:4096:1024,agg=2");
+    ASSERT_TRUE(stepped.has_value());
+    EXPECT_EQ(stepped->aggs, (std::vector<std::size_t>{2}));
+    EXPECT_EQ(stepped->backoffs,
+              (std::vector<std::uint64_t>{0, 1024, 2048, 3072, 4096}));
+
+    // Omitted knobs pin to the Config defaults.
+    const sec::Config defaults;
+    const auto agg_only = sb::SweepSpec::parse("agg=1:2");
+    ASSERT_TRUE(agg_only.has_value());
+    EXPECT_EQ(agg_only->backoffs,
+              (std::vector<std::uint64_t>{defaults.freezer_backoff_ns}));
+}
+
+TEST(SweepSpec, RejectsMalformedSpecs) {
+    std::string error;
+    EXPECT_FALSE(sb::SweepSpec::parse("agg=0:2", &error).has_value());
+    EXPECT_NE(error.find("agg"), std::string::npos);
+    EXPECT_FALSE(sb::SweepSpec::parse("agg=9", &error).has_value());
+    EXPECT_FALSE(sb::SweepSpec::parse("agg=3:1", &error).has_value());
+    EXPECT_FALSE(sb::SweepSpec::parse("turbo=1:2", &error).has_value());
+    EXPECT_NE(error.find("turbo"), std::string::npos);
+    EXPECT_FALSE(sb::SweepSpec::parse("agg", &error).has_value());
+    EXPECT_FALSE(sb::SweepSpec::parse("backoff=0:100:0", &error).has_value());
+    // Hostile ranges must error out, not hang, wrap, or exhaust memory.
+    EXPECT_FALSE(sb::SweepSpec::parse("backoff=64:18446744073709551615",
+                                      &error)
+                     .has_value());
+    EXPECT_FALSE(
+        sb::SweepSpec::parse("backoff=0:18446744073709551615:1", &error)
+            .has_value());
+    EXPECT_FALSE(sb::SweepSpec::parse("agg=1:4000000000", &error).has_value());
+    // Degenerate but legal: a step larger than the range yields just lo.
+    const auto one = sb::SweepSpec::parse("backoff=5:5:10");
+    ASSERT_TRUE(one.has_value());
+    EXPECT_EQ(one->backoffs, (std::vector<std::uint64_t>{5}));
+    // Duplicate knobs would silently duplicate or drop grid points.
+    EXPECT_FALSE(sb::SweepSpec::parse("agg=1:2,agg=1:2", &error).has_value());
+    EXPECT_FALSE(
+        sb::SweepSpec::parse("backoff=0:64,backoff=128", &error).has_value());
+}
+
+// Golden schema for the sweep's long-form CSV: header row, then exactly
+// `table,key,column,value` with every (agg, backoff) combination present as
+// an `agg<A>_bo<B>` column plus the sweep_best summary rows.
+TEST(SweepEngine, CsvMatchesTheGoldenSchema) {
+    const auto spec = sb::SweepSpec::parse("agg=1:2,backoff=0:64");
+    ASSERT_TRUE(spec.has_value());
+    ASSERT_EQ(spec->combinations(), 4u);
+
+    sb::ScenarioContext ctx;
+    ctx.smoke = true;
+    ctx.env.duration_ms = 5;
+    ctx.env.runs = 1;
+    ctx.env.threads = {2};
+    ctx.env.prefill = 64;
+    ctx.algos = {sb::AlgorithmRegistry::instance().find("SEC")};
+    std::FILE* csv = std::tmpfile();
+    ASSERT_NE(csv, nullptr);
+    sb::Table::write_csv_header(csv);
+    ctx.csv = csv;
+
+    EXPECT_EQ(sb::run_sweep(ctx, *spec), 0);
+
+    std::rewind(csv);
+    char line[256];
+    ASSERT_NE(std::fgets(line, sizeof line, csv), nullptr);
+    EXPECT_EQ(std::string(line), "table,key,column,value\n");
+    std::set<std::string> sweep_columns;
+    std::set<std::string> tables;
+    while (std::fgets(line, sizeof line, csv) != nullptr) {
+        const std::string row(line);
+        // table,key,column,value — 3 commas, numeric value field.
+        const auto c1 = row.find(',');
+        const auto c2 = row.find(',', c1 + 1);
+        const auto c3 = row.find(',', c2 + 1);
+        ASSERT_NE(c3, std::string::npos) << row;
+        const std::string table = row.substr(0, c1);
+        const std::string key = row.substr(c1 + 1, c2 - c1 - 1);
+        const std::string column = row.substr(c2 + 1, c3 - c2 - 1);
+        tables.insert(table);
+        EXPECT_TRUE(table == "sweep" || table == "sweep_best") << row;
+        EXPECT_EQ(key, "2") << row;  // the only thread count in the grid
+        if (table == "sweep") sweep_columns.insert(column);
+        const std::string value = row.substr(c3 + 1);
+        EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(value[0])))
+            << row;
+    }
+    std::fclose(csv);
+    EXPECT_EQ(tables.size(), 2u);
+    EXPECT_EQ(sweep_columns,
+              (std::set<std::string>{"agg1_bo0", "agg1_bo64", "agg2_bo0",
+                                     "agg2_bo64"}));
 }
 
 // A scenario end-to-end through the registry, tiny budget (the full

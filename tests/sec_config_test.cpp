@@ -24,6 +24,16 @@ TEST(SecConfigTest, RejectsAggregatorCountOutOfRange) {
     EXPECT_THROW(Stack{cfg}, std::invalid_argument);
 }
 
+TEST(SecConfigTest, RejectsBackoffBeyondTuningStateRange) {
+    sec::Config cfg;
+    cfg.freezer_backoff_ns = sec::kMaxFreezerBackoffNs;
+    cfg.validate();  // the bound itself is legal
+    cfg.freezer_backoff_ns = sec::kMaxFreezerBackoffNs + 1;
+    // Beyond 48 bits a TuningState would silently truncate what the same
+    // Config spins statically.
+    EXPECT_THROW(Stack{cfg}, std::invalid_argument);
+}
+
 TEST(SecConfigTest, RejectsBadMaxThreads) {
     sec::Config cfg;
     cfg.max_threads = 0;
