@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sharded_stack.hpp"
 #include "workload/registry.hpp"
 
 namespace sb = sec::bench;
@@ -46,13 +47,19 @@ int usage(std::FILE* out) {
                  "  --sweep SPEC       SEC tuning-surface cross-product, "
                  "e.g. agg=1:5,backoff=0:4096\n"
                  "                     (runs the 'sweep' scenario; ranges "
-                 "are lo:hi[:step], backoff\n"
-                 "                     doubles from 64ns without a step)\n"
+                 "are lo:hi[:step], '+' unions\n"
+                 "                     values, backoff doubles from 64ns "
+                 "without a step)\n"
+                 "  --shards K         pin the 'sharding' scenario to one "
+                 "shard count\n"
+                 "  --scenario NAME    alias for the positional scenario "
+                 "argument\n"
                  "  --smoke            tiny smoke preset (25 ms, 2 threads, 1 "
                  "run)\n"
                  "  --paper            the paper's 5 s x 5-run methodology\n"
                  "environment: SEC_BENCH_DURATION_MS / _RUNS / _THREADS / "
-                 "_PREFILL / _VALUE_RANGE / _SEED / _RECLAIM / _PAPER\n");
+                 "_PREFILL / _VALUE_RANGE / _SEED / _RECLAIM / _SHARDS / "
+                 "_PAPER\n");
     return out == stderr ? 2 : 0;
 }
 
@@ -71,6 +78,19 @@ int list_registries() {
         std::printf("  %-18s %s\n", r->name.c_str(), r->description.c_str());
     }
     return 0;
+}
+
+// Strict parse of a --shards / SEC_BENCH_SHARDS value: a typo must not
+// silently fall back to a different experiment (the sweep engine's loud
+// clamp warning is the precedent). Returns 0 on garbage or out-of-range.
+unsigned parse_shards(const char* value) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0' || parsed == 0 ||
+        parsed > sec::shard::kMaxShards) {
+        return 0;
+    }
+    return static_cast<unsigned>(parsed);
 }
 
 std::vector<std::string> split_csv(const char* arg) {
@@ -96,6 +116,7 @@ int main(int argc, char** argv) {
     const char* csv_path = nullptr;
     const char* reclaim_scheme = nullptr;
     const char* sweep_spec = nullptr;
+    unsigned shards = 0;
     bool smoke = false;
     bool run_all = false;
 
@@ -144,6 +165,24 @@ int main(int argc, char** argv) {
             reclaim_scheme = next_value(i, arg);
         } else if (std::strcmp(arg, "--sweep") == 0) {
             sweep_spec = next_value(i, arg);
+        } else if (std::strcmp(arg, "--shards") == 0) {
+            const char* value = next_value(i, arg);
+            shards = parse_shards(value);
+            if (shards == 0) {
+                std::fprintf(stderr,
+                             "secbench: --shards '%s' must be an integer in "
+                             "[1, %zu]\n",
+                             value, sec::shard::kMaxShards);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--scenario") == 0) {
+            // True alias for the positional form — including `all`.
+            const char* name = next_value(i, arg);
+            if (std::strcmp(name, "all") == 0) {
+                run_all = true;
+            } else {
+                scenarios.push_back(name);
+            }
         } else if (std::strcmp(arg, "--smoke") == 0) {
             smoke = true;
         } else if (std::strcmp(arg, "--paper") == 0) {
@@ -169,6 +208,20 @@ int main(int argc, char** argv) {
     ctx.env = sb::EnvConfig::load();
     ctx.smoke = smoke;
     if (sweep_spec != nullptr) ctx.sweep_spec = sweep_spec;
+    if (shards == 0) {
+        if (const char* env_shards = std::getenv("SEC_BENCH_SHARDS")) {
+            shards = parse_shards(env_shards);
+            if (shards == 0 && *env_shards != '\0') {
+                // Environment garbage is a warning, not an error — the
+                // lenient contract every other SEC_BENCH_* knob follows.
+                std::fprintf(stderr,
+                             "secbench: ignoring SEC_BENCH_SHARDS='%s' (not "
+                             "an integer in [1, %zu])\n",
+                             env_shards, sec::shard::kMaxShards);
+            }
+        }
+    }
+    ctx.shards = shards;
     if (smoke) {
         // Tiny budget: every scenario exercised, nothing measured seriously.
         ctx.env.duration_ms = 25;
@@ -215,13 +268,15 @@ int main(int argc, char** argv) {
                          reclaim_scheme, rec_reg.names_csv().c_str());
             return 2;
         }
-        const bool is_ebr = std::strcmp(reclaim_scheme, "ebr") == 0;
         std::vector<const sb::AlgoSpec*> mapped;
         for (const sb::AlgoSpec* spec : ctx.algos) {
+            // A registered variant IS that scheme's binding whether or not
+            // it can also borrow an external DomainHandle — the sharded
+            // variants keep per-shard private domains (supports_domain is
+            // false) yet still compose with --reclaim.
             const sb::AlgoSpec* variant =
                 algo_reg.find_variant(spec->base, reclaim_scheme);
-            if (variant != nullptr &&
-                (variant->supports_domain || is_ebr)) {
+            if (variant != nullptr) {
                 // Distinct selections can map to one variant (SEC,SEC@hp
                 // --reclaim hp); run it once, not per alias.
                 if (std::find(mapped.begin(), mapped.end(), variant) ==

@@ -167,14 +167,29 @@ public:
         }
     }
 
+    // One consistent snapshot: the counters are written with plain
+    // load+store under each aggregator's freezer lock (see combine()), so a
+    // lock-free reader could both under-count a mid-batch bump and tear
+    // ACROSS counters — batched already bumped, eliminated not yet — and
+    // Table 1 / the adaptive controller divide one counter by another.
+    // Taking the lock per aggregator makes the four counters mutually
+    // consistent and flushes every completed batch into the read (lock
+    // hand-off: the freezer's release store pairs with our acquire
+    // exchange). Held only for four relaxed loads, so a concurrent freezer
+    // waits nanoseconds, and stats() never holds two locks at once.
     StatsSnapshot stats() const {
         StatsSnapshot s;
         for (std::size_t a = 0; a < num_aggs_; ++a) {
-            const Agg& agg = aggs_[a];
+            Agg& agg = aggs_[a];
+            Backoff backoff;
+            while (agg.lock.exchange(1, std::memory_order_acquire) != 0) {
+                backoff.pause();
+            }
             s.batches += agg.batches.load(std::memory_order_relaxed);
             s.batched_ops += agg.batched.load(std::memory_order_relaxed);
             s.eliminated_ops += agg.eliminated.load(std::memory_order_relaxed);
             s.combined_ops += agg.combined.load(std::memory_order_relaxed);
+            agg.lock.store(0, std::memory_order_release);
         }
         return s;
     }
@@ -335,9 +350,9 @@ private:
             // agg.lock, so each counter has one writer at a time (the lock
             // hand-off orders successive freezers) and an atomic RMW per
             // counter per batch would be pure waste — 4 RMWs dominate the
-            // per-op cost when batches are small. Concurrent stats()
-            // readers see a momentarily stale value, which relaxed
-            // fetch_add allowed too.
+            // per-op cost when batches are small. stats() takes the same
+            // lock, so readers see whole batches only, never a mid-bump
+            // tear.
             auto bump = [](std::atomic<std::uint64_t>& c, std::uint64_t x) {
                 c.store(c.load(std::memory_order_relaxed) + x,
                         std::memory_order_relaxed);

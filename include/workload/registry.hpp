@@ -48,6 +48,12 @@ struct StackParams {
     const reclaim::DomainHandle* domain = nullptr;
 };
 
+// A Config honouring StackParams: an explicit config wins; otherwise the
+// default Config sized to the run's thread bound. Aggregators never exceed
+// max_threads. Shared by the built-in factories (src/registry.cpp) and the
+// sharded variants (src/shard.cpp) so the two can never drift.
+Config effective_stack_config(const StackParams& p);
+
 struct AlgoSpec {
     std::string name;         // legend name ("SEC", "TRB@hp"), the Table column
     std::string description;  // one-liner for `secbench --list`
@@ -137,6 +143,9 @@ struct ScenarioContext {
     // (workload/sweep.hpp) and falls back to a small default grid when
     // empty.
     std::string sweep_spec{};
+    // --shards / SEC_BENCH_SHARDS: pins the `sharding` scenario to one
+    // shard count (0 = derive from the selection, else the default grid).
+    unsigned shards = 0;
 
     // Column names of the selected algorithms.
     std::vector<std::string> columns() const;
@@ -189,6 +198,9 @@ namespace detail {
 // constructor so the scenario translation unit is linked into consumers of
 // the registry (static-library registration would otherwise be dropped).
 void register_builtin_scenarios(ScenarioRegistry& reg);
+// Defined in src/shard.cpp, same linkage trick: the SEC@shardK (x reclaim
+// scheme) variants self-register from the sharding translation unit.
+void register_shard_algorithms(AlgorithmRegistry& reg);
 }  // namespace detail
 
 }  // namespace sec::bench

@@ -239,13 +239,35 @@ AnyStack erase_stack(std::unique_ptr<S> stack) {
     return AnyStack(std::make_unique<StackModel<S>>(std::move(stack)));
 }
 
-// Per-worker phase seed: deterministic in (base, worker, run, phase salt) —
-// distinct per (worker, run) and distinct between the prefill and the
-// measured phase of the same worker. `base` comes from RunConfig::seed
-// (`--seed` / SEC_BENCH_SEED); base 0 reproduces the historical seeding.
+// Scenario stream counter: run_scenario advances it after each scenario
+// body, so two scenarios of ONE secbench invocation draw from disjoint
+// per-worker RNG streams instead of replaying identical op sequences (a
+// multi-scenario --csv run used to correlate every scenario's workload).
+// Deterministic under --seed: the counter depends only on the scenario's
+// position in the invocation, so replays stay exact per scenario. Stream 0
+// (no scenario finished yet — every first scenario, every direct runner
+// call) reproduces the historical seeding bit-for-bit.
+namespace detail {
+inline std::atomic<std::uint64_t> g_seed_stream{0};
+}  // namespace detail
+
+inline std::uint64_t seed_stream() noexcept {
+    return detail::g_seed_stream.load(std::memory_order_relaxed);
+}
+inline void advance_seed_stream() noexcept {
+    detail::g_seed_stream.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-worker phase seed: deterministic in (base, worker, run, phase salt,
+// scenario stream) — distinct per (worker, run), distinct between the
+// prefill and the measured phase of the same worker, and distinct across
+// the scenarios of one invocation (seed_stream above). `base` comes from
+// RunConfig::seed (`--seed` / SEC_BENCH_SEED); base 0 at stream 0
+// reproduces the historical seeding.
 inline std::uint64_t phase_seed(std::uint64_t base, unsigned t, unsigned run,
                                 std::uint64_t salt = 0) {
-    return (base + t + 1) * 0x9E3779B97F4A7C15ull + run + (salt << 32);
+    return (base + t + 1) * 0x9E3779B97F4A7C15ull + run + (salt << 32) +
+           seed_stream() * 0xD1B54A32D192ED03ull;
 }
 
 // ---- the statically-typed timed-window runner ------------------------------

@@ -16,6 +16,10 @@
 //                                        lower bound contributes the
 //                                        backoff-disabled point)
 //   backoff=0:4096:1024   0,1024,2048,3072,4096  (explicit additive step)
+//   agg=5+1:2             1,2,5  ('+' unions values/ranges; the union is
+//                                 sorted and deduped, so overlapping
+//                                 segments can never inflate the
+//                                 cross-product or duplicate CSV rows)
 // Omitted knobs pin to the Config default. See REPRODUCING.md for the CSV
 // schema contract (`sweep,<threads>,agg<A>_bo<B>,<mops>`).
 #pragma once
@@ -36,7 +40,9 @@ struct SweepSpec {
 
     // Parse "agg=1:5,backoff=0:4096". Returns nullopt and sets `error` on a
     // malformed spec (unknown knob, empty/backwards range, agg outside
-    // [1, kMaxAggregators]). Omitted knobs default to the Config defaults.
+    // [1, kMaxAggregators]). Each knob's values come back sorted and
+    // deduped, whatever the '+' segments looked like. Omitted knobs default
+    // to the Config defaults.
     static std::optional<SweepSpec> parse(std::string_view spec,
                                           std::string* error = nullptr);
 

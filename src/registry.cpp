@@ -18,17 +18,6 @@ namespace {
 
 // ---- algorithm factories ---------------------------------------------------
 
-// A Config honouring params: explicit config wins; otherwise default Config
-// sized to the run's thread bound. Aggregators never exceed max_threads.
-Config effective_config(const StackParams& p) {
-    Config cfg = p.config != nullptr ? *p.config : Config{};
-    if (p.config == nullptr) cfg.max_threads = tid_bound(p.threads);
-    cfg.max_threads =
-        std::min(std::max<std::size_t>(cfg.max_threads, 1), kMaxThreads);
-    cfg.num_aggregators = std::min(cfg.num_aggregators, cfg.max_threads);
-    return cfg;
-}
-
 // Stacks with no reclamation domain (CcStack/FcStack: combining designs
 // reclaim through their combiner, so `domain` is ignored for them).
 template <ConcurrentStack S>
@@ -52,7 +41,7 @@ AnyStack make_bound_stack(const StackParams& p) {
 
 template <reclaim::Reclaimer R>
 AnyStack make_sec(const StackParams& p) {
-    const Config cfg = effective_config(p);
+    const Config cfg = effective_stack_config(p);
     if (p.domain != nullptr) {
         if (R* d = p.domain->get<R>()) {
             return erase_stack(std::make_unique<SecStack<Value, R>>(cfg, *d));
@@ -78,7 +67,7 @@ struct PoolStackAdapter {
 
 template <reclaim::Reclaimer R>
 AnyStack make_pool(const StackParams& p) {
-    const Config cfg = effective_config(p);
+    const Config cfg = effective_stack_config(p);
     if (p.domain != nullptr) {
         if (R* d = p.domain->get<R>()) {
             return erase_stack(
@@ -126,7 +115,7 @@ struct AdaptiveSecStack {
 
 AnyStack make_adaptive_sec(const StackParams& p) {
     return erase_stack(
-        std::make_unique<AdaptiveSecStack>(effective_config(p)));
+        std::make_unique<AdaptiveSecStack>(effective_stack_config(p)));
 }
 
 // One "BASE@scheme" spec per reclaimer-capable structure: the cross-product
@@ -208,9 +197,21 @@ void register_builtin_reclaimers(ReclaimerRegistry& reg) {
 
 }  // namespace
 
+Config effective_stack_config(const StackParams& p) {
+    Config cfg = p.config != nullptr ? *p.config : Config{};
+    if (p.config == nullptr) cfg.max_threads = tid_bound(p.threads);
+    cfg.max_threads =
+        std::min(std::max<std::size_t>(cfg.max_threads, 1), kMaxThreads);
+    cfg.num_aggregators = std::min(cfg.num_aggregators, cfg.max_threads);
+    return cfg;
+}
+
 // ---- AlgorithmRegistry -----------------------------------------------------
 
-AlgorithmRegistry::AlgorithmRegistry() { register_builtin_algorithms(*this); }
+AlgorithmRegistry::AlgorithmRegistry() {
+    register_builtin_algorithms(*this);
+    detail::register_shard_algorithms(*this);
+}
 
 AlgorithmRegistry& AlgorithmRegistry::instance() {
     static AlgorithmRegistry reg;
@@ -413,7 +414,13 @@ int run_scenario(std::string_view name, const ScenarioContext& ctx) {
     }
     print_preamble(std::string("secbench ") + spec->name + " — " + spec->title,
                    ctx.env);
-    return spec->run(ctx);
+    const int rc = spec->run(ctx);
+    // Decorrelate the NEXT scenario's per-worker RNG streams from this
+    // one's (see phase_seed): advancing after the body keeps stream 0 — and
+    // with it the historical seeding — for the first scenario of every
+    // invocation and for every direct runner call in the tests.
+    advance_seed_stream();
+    return rc;
 }
 
 int run_legacy_scenario(std::string_view name) {

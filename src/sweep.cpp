@@ -80,6 +80,31 @@ void set_error(std::string* error, std::string message) {
     if (error != nullptr) *error = std::move(message);
 }
 
+// A knob's field: one or more '+'-separated segments, each a value or a
+// range ("0+64:256+4096"). Every segment expands through expand_range, then
+// the union is sorted and deduped — a list like "4096+0:256+64" would
+// otherwise inflate the cross-product with duplicate columns and emit the
+// grid out of order (duplicate CSV rows downstream tooling then
+// double-counts).
+bool expand_field(std::string_view field, bool geometric,
+                  std::vector<std::uint64_t>& out) {
+    std::string_view rest = field;
+    while (true) {
+        const auto plus = rest.find('+');
+        const std::string_view segment = rest.substr(0, plus);
+        if (segment.empty() ||
+            !expand_range(segment, geometric, out)) {
+            return false;
+        }
+        if (plus == std::string_view::npos) break;
+        rest = rest.substr(plus + 1);
+    }
+    if (out.size() > kMaxValuesPerKnob) return false;
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return !out.empty();
+}
+
 }  // namespace
 
 std::optional<SweepSpec> SweepSpec::parse(std::string_view spec,
@@ -105,8 +130,7 @@ std::optional<SweepSpec> SweepSpec::parse(std::string_view spec,
                 set_error(error, "sweep: duplicate 'agg' knob");
                 return std::nullopt;
             }
-            if (!expand_range(field, /*geometric=*/false, values) ||
-                values.empty()) {
+            if (!expand_field(field, /*geometric=*/false, values)) {
                 set_error(error, "sweep: bad agg range: " + std::string(field));
                 return std::nullopt;
             }
@@ -124,8 +148,7 @@ std::optional<SweepSpec> SweepSpec::parse(std::string_view spec,
                 set_error(error, "sweep: duplicate 'backoff' knob");
                 return std::nullopt;
             }
-            if (!expand_range(field, /*geometric=*/true, values) ||
-                values.empty()) {
+            if (!expand_field(field, /*geometric=*/true, values)) {
                 set_error(error,
                           "sweep: bad backoff range: " + std::string(field));
                 return std::nullopt;
@@ -188,6 +211,19 @@ int run_sweep(const ScenarioContext& ctx, const SweepSpec& spec) {
                                                      {"", -1.0});
     std::size_t ci = 0;
     for (std::size_t aggs : spec.aggs) {
+        // More aggregators than publication slots is a degenerate config
+        // (idle aggregators that only add freezer scan work); say what
+        // actually ran instead of silently mislabelling the column — once
+        // per (agg, thread count), not once per grid point.
+        for (const unsigned t : ctx.env.threads) {
+            const std::size_t bound = tid_bound(t);
+            if (aggs > bound) {
+                std::fprintf(stderr,
+                             "sweep: agg=%zu exceeds max_threads=%zu at "
+                             "t=%u; clamping to %zu\n",
+                             aggs, bound, t, bound);
+            }
+        }
         for (std::uint64_t backoff : spec.backoffs) {
             const std::string& column = columns[ci++];
             for (std::size_t ti = 0; ti < ctx.env.threads.size(); ++ti) {

@@ -145,7 +145,7 @@ TEST(ScenarioRegistry, ListsAtLeastEightScenarios) {
     for (const char* name :
          {"fig2", "fig3", "fig4", "table1", "latency", "reclamation",
           "sweep", "tuning", "ablation_backoff", "ablation_mapping",
-          "ablation_pool", "micro"}) {
+          "ablation_pool", "sharding", "micro"}) {
         EXPECT_NE(reg.find(name), nullptr) << name;
     }
 }
@@ -210,6 +210,37 @@ TEST(SweepSpec, RejectsMalformedSpecs) {
         sb::SweepSpec::parse("backoff=0:64,backoff=128", &error).has_value());
 }
 
+// Regression: '+'-unioned segments used to pass through unsorted and with
+// duplicates, inflating the cross-product and emitting duplicate CSV rows
+// (one column name, several rows). The union must come back sorted and
+// deduped, and out-of-range values inside a list must still be rejected.
+TEST(SweepSpec, ValueListsAreSortedDedupedAndRangeChecked) {
+    // Duplicates and reversed order across overlapping segments.
+    const auto aggs = sb::SweepSpec::parse("agg=3+1+2:3+1");
+    ASSERT_TRUE(aggs.has_value());
+    EXPECT_EQ(aggs->aggs, (std::vector<std::size_t>{1, 2, 3}));
+
+    const auto backoffs = sb::SweepSpec::parse("backoff=4096+0:64+64");
+    ASSERT_TRUE(backoffs.has_value());
+    EXPECT_EQ(backoffs->backoffs,
+              (std::vector<std::uint64_t>{0, 64, 4096}));
+
+    // Dedup means the cross-product (and so the CSV column set) shrinks to
+    // the distinct points.
+    const auto both = sb::SweepSpec::parse("agg=2+2+2,backoff=0+0");
+    ASSERT_TRUE(both.has_value());
+    EXPECT_EQ(both->combinations(), 1u);
+
+    // Out-of-range and malformed members of a list still fail the parse.
+    std::string error;
+    EXPECT_FALSE(sb::SweepSpec::parse("agg=1+9", &error).has_value());
+    EXPECT_NE(error.find("agg"), std::string::npos);
+    EXPECT_FALSE(sb::SweepSpec::parse("agg=1+", &error).has_value());
+    EXPECT_FALSE(sb::SweepSpec::parse("agg=+1", &error).has_value());
+    EXPECT_FALSE(
+        sb::SweepSpec::parse("backoff=0+281474976710656", &error).has_value());
+}
+
 // Golden schema for the sweep's long-form CSV: header row, then exactly
 // `table,key,column,value` with every (agg, backoff) combination present as
 // an `agg<A>_bo<B>` column plus the sweep_best summary rows.
@@ -261,6 +292,43 @@ TEST(SweepEngine, CsvMatchesTheGoldenSchema) {
     EXPECT_EQ(sweep_columns,
               (std::set<std::string>{"agg1_bo0", "agg1_bo64", "agg2_bo0",
                                      "agg2_bo64"}));
+}
+
+// Regression: two scenarios run back-to-back in ONE invocation used to
+// reseed every worker identically — phase_seed was a pure function of
+// (seed, worker, run, salt), so a multi-scenario --csv run replayed the
+// exact same op streams in every scenario. run_scenario now advances the
+// process-wide seed stream after each scenario body: streams differ across
+// scenario positions, deterministically (a --seed replay of the same
+// invocation reproduces the same per-position streams), and the first
+// scenario keeps the historical stream-0 seeding.
+TEST(ScenarioRegistry, BackToBackScenariosDrawFromIndependentSeedStreams) {
+    // A no-op scenario so the test drives run_scenario itself, not a
+    // benchmark body.
+    sb::ScenarioRegistry::instance().add(
+        {"noop_seed_probe", "seed-stream regression probe",
+         [](const sb::ScenarioContext&) { return 0; }});
+    sb::ScenarioContext ctx;
+    ctx.env.threads = {1};
+    ctx.env.duration_ms = 1;
+    ctx.env.runs = 1;
+
+    const std::uint64_t stream0 = sb::seed_stream();
+    const std::uint64_t first = sb::phase_seed(42, 0, 0);
+    ASSERT_EQ(sb::run_scenario("noop_seed_probe", ctx), 0);
+    const std::uint64_t second = sb::phase_seed(42, 0, 0);
+    ASSERT_EQ(sb::run_scenario("noop_seed_probe", ctx), 0);
+    const std::uint64_t third = sb::phase_seed(42, 0, 0);
+
+    // Each scenario position gets its own stream...
+    EXPECT_EQ(sb::seed_stream(), stream0 + 2);
+    EXPECT_NE(first, second);
+    EXPECT_NE(second, third);
+    EXPECT_NE(first, third);
+    // ...and within one position the seeding stays a pure function of
+    // (seed, worker, run, salt) — the --seed replay contract.
+    EXPECT_EQ(third, sb::phase_seed(42, 0, 0));
+    EXPECT_NE(sb::phase_seed(42, 0, 0), sb::phase_seed(42, 1, 0));
 }
 
 // A scenario end-to-end through the registry, tiny budget (the full

@@ -4,6 +4,8 @@
 // update-heavy mix.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <thread>
@@ -131,6 +133,71 @@ TEST(SecConfigTest, CollectStatsYieldsDegreesOnUpdateHeavyMix) {
     // Every batched op is either eliminated or combined, never both.
     EXPECT_EQ(s.eliminated_ops + s.combined_ops, s.batched_ops);
     EXPECT_LE(s.elimination_pct() + s.combining_pct(), 100.0001);
+}
+
+// Regression: stats() used to sum the counters with bare relaxed loads
+// while freezers publish them with lock-serialized load+store, so a MID-RUN
+// snapshot (the adaptive controller's feedback read, table1's per-point
+// stream) could tear across counters — batched already bumped, eliminated
+// not yet — breaking eliminated + combined == batched and under-counting
+// whole batches. stats() now takes each aggregator's freezer lock, making
+// every snapshot batch-atomic; this hammers snapshots under live churn and
+// checks the cross-counter invariant plus per-counter monotonicity.
+TEST(SecConfigTest, StatsSnapshotIsConsistentUnderConcurrentLoad) {
+    sec::Config cfg;
+    cfg.max_threads = 16;
+    cfg.collect_stats = true;
+    cfg.num_aggregators = 2;
+    cfg.freezer_backoff_ns = 0;  // maximise batch frequency
+    Stack stack(cfg);
+
+    constexpr unsigned kThreads = 4;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&stack, &stop, t] {
+            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
+            while (!stop.load(std::memory_order_relaxed)) {
+                if (rng.next_below(2) == 0) {
+                    stack.push(1);
+                } else {
+                    (void)stack.pop();
+                }
+            }
+        });
+    }
+
+    // Wait until the workers actually produce batches: on an oversubscribed
+    // host the main thread can burn through the whole snapshot loop before
+    // a single worker is scheduled, which would make the tear-check vacuous
+    // and the final batches > 0 assert a scheduling lottery.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (stack.stats().batches == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+    }
+    ASSERT_GT(stack.stats().batches, 0u) << "workers never produced a batch";
+
+    sec::StatsSnapshot prev;
+    for (int i = 0; i < 2000; ++i) {
+        // Let the churn make progress between reads on few-core hosts.
+        if ((i & 63) == 0) std::this_thread::yield();
+        const sec::StatsSnapshot s = stack.stats();
+        ASSERT_EQ(s.eliminated_ops + s.combined_ops, s.batched_ops)
+            << "torn mid-batch snapshot at read " << i;
+        ASSERT_GE(s.batched_ops, s.batches)
+            << "batch with zero ops at read " << i;
+        // Cumulative counters only grow.
+        ASSERT_GE(s.batches, prev.batches);
+        ASSERT_GE(s.batched_ops, prev.batched_ops);
+        ASSERT_GE(s.eliminated_ops, prev.eliminated_ops);
+        ASSERT_GE(s.combined_ops, prev.combined_ops);
+        prev = s;
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& w : workers) w.join();
+    EXPECT_GT(stack.stats().batches, 0u);
 }
 
 }  // namespace
