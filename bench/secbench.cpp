@@ -17,6 +17,7 @@
 
 #include "core/sharded_stack.hpp"
 #include "workload/registry.hpp"
+#include "workload/service.hpp"
 
 namespace sb = sec::bench;
 
@@ -52,6 +53,12 @@ int usage(std::FILE* out) {
                  "without a step)\n"
                  "  --shards K         pin the 'sharding' scenario to one "
                  "shard count\n"
+                 "  --load KOPS        offered load in Kops/s for the "
+                 "'service' scenario\n"
+                 "                     (and the 'knee' search's starting "
+                 "probe)\n"
+                 "  --arrival KIND     arrival process for 'service'/'knee': "
+                 "poisson | burst\n"
                  "  --scenario NAME    alias for the positional scenario "
                  "argument\n"
                  "  --smoke            tiny smoke preset (25 ms, 2 threads, 1 "
@@ -59,7 +66,7 @@ int usage(std::FILE* out) {
                  "  --paper            the paper's 5 s x 5-run methodology\n"
                  "environment: SEC_BENCH_DURATION_MS / _RUNS / _THREADS / "
                  "_PREFILL / _VALUE_RANGE / _SEED / _RECLAIM / _SHARDS / "
-                 "_PAPER\n");
+                 "_LOAD / _ARRIVAL / _PAPER\n");
     return out == stderr ? 2 : 0;
 }
 
@@ -117,6 +124,8 @@ int main(int argc, char** argv) {
     const char* reclaim_scheme = nullptr;
     const char* sweep_spec = nullptr;
     unsigned shards = 0;
+    double load_kops = 0;
+    const char* arrival = nullptr;
     bool smoke = false;
     bool run_all = false;
 
@@ -175,6 +184,28 @@ int main(int argc, char** argv) {
                              value, sec::shard::kMaxShards);
                 return 2;
             }
+        } else if (std::strcmp(arg, "--load") == 0) {
+            // Strict like --shards: a mistyped load must not silently run
+            // the scenario's default offered load instead.
+            const char* value = next_value(i, arg);
+            char* end = nullptr;
+            load_kops = std::strtod(value, &end);
+            if (end == value || *end != '\0' || !(load_kops > 0)) {
+                std::fprintf(stderr,
+                             "secbench: --load '%s' must be a positive "
+                             "Kops/s value\n",
+                             value);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--arrival") == 0) {
+            arrival = next_value(i, arg);
+            if (!sb::parse_arrival(arrival)) {
+                std::fprintf(stderr,
+                             "secbench: --arrival '%s' must be poisson or "
+                             "burst\n",
+                             arrival);
+                return 2;
+            }
         } else if (std::strcmp(arg, "--scenario") == 0) {
             // True alias for the positional form — including `all`.
             const char* name = next_value(i, arg);
@@ -222,6 +253,36 @@ int main(int argc, char** argv) {
         }
     }
     ctx.shards = shards;
+    if (load_kops == 0) {
+        if (const char* env_load = std::getenv("SEC_BENCH_LOAD")) {
+            char* end = nullptr;
+            const double parsed = std::strtod(env_load, &end);
+            if (end != env_load && *end == '\0' && parsed > 0) {
+                load_kops = parsed;
+            } else if (*env_load != '\0') {
+                // Environment garbage is a warning, not an error — the
+                // lenient contract every other SEC_BENCH_* knob follows.
+                std::fprintf(stderr,
+                             "secbench: ignoring SEC_BENCH_LOAD='%s' (not a "
+                             "positive Kops/s value)\n",
+                             env_load);
+            }
+        }
+    }
+    ctx.load_kops = load_kops;
+    if (arrival == nullptr) {
+        if (const char* env_arrival = std::getenv("SEC_BENCH_ARRIVAL")) {
+            if (sb::parse_arrival(env_arrival)) {
+                arrival = env_arrival;
+            } else if (*env_arrival != '\0') {
+                std::fprintf(stderr,
+                             "secbench: ignoring SEC_BENCH_ARRIVAL='%s' "
+                             "(poisson or burst)\n",
+                             env_arrival);
+            }
+        }
+    }
+    if (arrival != nullptr) ctx.arrival = arrival;
     if (smoke) {
         // Tiny budget: every scenario exercised, nothing measured seriously.
         ctx.env.duration_ms = 25;
@@ -236,7 +297,12 @@ int main(int argc, char** argv) {
         ctx.env.value_range = static_cast<std::size_t>(value_range);
     }
     if (seed >= 0) ctx.env.seed = static_cast<std::uint64_t>(seed);
-    if (!thread_grid.empty()) ctx.env.threads = thread_grid;
+    if (!thread_grid.empty()) {
+        // Same live-thread bound the environment path applies in
+        // EnvConfig::load — a warned clamp, not a silent rewrite.
+        sb::clamp_thread_grid(thread_grid, "--threads");
+        ctx.env.threads = thread_grid;
+    }
 
     auto& algo_reg = sb::AlgorithmRegistry::instance();
     if (algo_names.empty()) {

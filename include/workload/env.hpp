@@ -9,6 +9,10 @@
 //   SEC_BENCH_PREFILL      nodes pushed before the window opens
 //   SEC_BENCH_VALUE_RANGE  value universe for pushes
 //   SEC_BENCH_SEED         base seed for per-worker op-mix RNGs (repro runs)
+//
+// Values that don't parse as clean unsigned integers (trailing junk, signs,
+// "abc") are rejected with a stderr warning and the default kept — never
+// silently read as 0 or a truncated prefix.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +32,14 @@ struct EnvConfig {
 
     static EnvConfig load();
 };
+
+// Clamp every entry of a thread grid to the library's live-thread bound
+// (kMaxThreads minus head-room for the coordinator/main/gtest threads),
+// warning on stderr per rewritten entry instead of silently editing the
+// user's grid. `origin` names the knob in the warning ("--threads" /
+// "SEC_BENCH_THREADS"), so the CLI and environment paths stay in agreement
+// by construction.
+void clamp_thread_grid(std::vector<unsigned>& grid, const char* origin);
 
 // Banner on stderr: bench name, hardware, and the effective EnvConfig, so
 // every result log is self-describing. The one-argument form reloads the

@@ -32,6 +32,29 @@ public:
                       : 0.0;
     }
 
+    // Bucket mapping, public for the boundary round-trip tests
+    // (tests/histogram_test.cpp): bucket_bound is the inverse of bucket_of,
+    // returning bucket i's representative upper bound.
+    static constexpr std::size_t bucket_count() noexcept { return kBuckets; }
+
+    static std::size_t bucket_of(std::uint64_t ns) noexcept {
+        if (ns < kSub) return static_cast<std::size_t>(ns);
+        const int high = 63 - std::countl_zero(ns);
+        const std::size_t major = static_cast<std::size_t>(high) - kSubBits + 1;
+        const std::size_t sub = static_cast<std::size_t>(
+            (ns >> (high - static_cast<int>(kSubBits))) & (kSub - 1));
+        const std::size_t idx = major * kSub + sub;
+        return idx < kBuckets ? idx : kBuckets - 1;
+    }
+
+    static std::uint64_t bucket_bound(std::size_t i) noexcept {
+        const std::size_t major = i / kSub;
+        const std::uint64_t sub = i % kSub;
+        if (major == 0) return sub;
+        const int shift = static_cast<int>(major) - 1;
+        return ((kSub + sub) << shift) + ((std::uint64_t{1} << shift) - 1);
+    }
+
     // Smallest recorded-bucket upper bound covering quantile q of samples.
     std::uint64_t quantile_ns(double q) const noexcept {
         if (total_ == 0) return 0;
@@ -52,25 +75,6 @@ private:
     static constexpr std::size_t kSub = std::size_t{1} << kSubBits;  // 16
     static constexpr std::size_t kMajors = 64;
     static constexpr std::size_t kBuckets = kMajors * kSub;
-
-    static std::size_t bucket_of(std::uint64_t ns) noexcept {
-        if (ns < kSub) return static_cast<std::size_t>(ns);
-        const int high = 63 - std::countl_zero(ns);
-        const std::size_t major = static_cast<std::size_t>(high) - kSubBits + 1;
-        const std::size_t sub = static_cast<std::size_t>(
-            (ns >> (high - static_cast<int>(kSubBits))) & (kSub - 1));
-        const std::size_t idx = major * kSub + sub;
-        return idx < kBuckets ? idx : kBuckets - 1;
-    }
-
-    // Representative (upper-bound) value for bucket i; inverse of bucket_of.
-    static std::uint64_t bucket_bound(std::size_t i) noexcept {
-        const std::size_t major = i / kSub;
-        const std::uint64_t sub = i % kSub;
-        if (major == 0) return sub;
-        const int shift = static_cast<int>(major) - 1;
-        return ((kSub + sub) << shift) + ((std::uint64_t{1} << shift) - 1);
-    }
 
     std::uint64_t counts_[kBuckets] = {};
     std::uint64_t sum_ns_ = 0;

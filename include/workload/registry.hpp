@@ -146,6 +146,13 @@ struct ScenarioContext {
     // --shards / SEC_BENCH_SHARDS: pins the `sharding` scenario to one
     // shard count (0 = derive from the selection, else the default grid).
     unsigned shards = 0;
+    // --load / SEC_BENCH_LOAD: offered load in Kops/s for the open-loop
+    // `service` scenario (0 = the scenario's default; the `knee` scenario
+    // uses it as the search's starting probe when given).
+    double load_kops = 0;
+    // --arrival / SEC_BENCH_ARRIVAL: "poisson" (default) or "burst" — the
+    // arrival process of the service scenarios (workload/service.hpp).
+    std::string arrival{};
 
     // Column names of the selected algorithms.
     std::vector<std::string> columns() const;

@@ -13,7 +13,10 @@ namespace sec::bench {
 
 class Table {
 public:
-    Table(std::string name, std::vector<std::string> columns);
+    // `unit` labels the printed header; throughput tables keep the historic
+    // default, the service scenarios pass their own ("us", "Kops/s").
+    Table(std::string name, std::vector<std::string> columns,
+          std::string unit = "Mops/s");
 
     void add(unsigned threads, std::string_view column, double value);
     void print() const;
@@ -28,6 +31,7 @@ public:
 private:
     std::string name_;
     std::vector<std::string> columns_;
+    std::string unit_;
     // threads -> column -> Mops (ordered so rows print in grid order).
     std::map<unsigned, std::map<std::string, double, std::less<>>> rows_;
 };

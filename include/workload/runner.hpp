@@ -144,6 +144,90 @@ std::uint64_t phase_mixed_ops(S& stack, std::uint64_t count,
     return count;
 }
 
+// ---- open-loop service lanes (workload/service.hpp, DESIGN.md §9) ----------
+
+// Producer lane: replay a precomputed arrival schedule, pushing each request
+// stamped with its scheduled ns offset as the value. The lane waits for each
+// scheduled instant (coarse sleep, then a yield loop so few-core hosts don't
+// starve the consumers), but it never edits the stamp when it falls behind —
+// a late push is billed to the request, which is exactly the
+// coordinated-omission-free contract.
+template <ConcurrentStack S>
+std::uint64_t phase_serve_produce(S& stack, const ServeProduceArgs& a) {
+    using Clock = std::chrono::steady_clock;
+    for (std::size_t i = 0; i < a.count; ++i) {
+        detail::quiesce_hook(stack);
+        const auto due = a.epoch + std::chrono::nanoseconds(a.schedule[i]);
+        for (;;) {
+            const auto now = Clock::now();
+            if (now >= due) break;
+            const auto gap = due - now;
+            if (gap > std::chrono::microseconds(200)) {
+                std::this_thread::sleep_for(gap -
+                                            std::chrono::microseconds(100));
+            } else {
+                std::this_thread::yield();
+            }
+            // QSBR lanes must keep announcing quiescence while idle between
+            // arrivals, or a sleeping producer stalls every grace period.
+            detail::quiesce_hook(stack);
+        }
+        stack.push(static_cast<typename S::value_type>(a.schedule[i]));
+    }
+    detail::offline_hook(stack);
+    return a.count;
+}
+
+// Consumer lane: pop until the producers are done AND the buffer is drained.
+// Two histograms per op: `service` times the pop call alone (the closed-loop
+// view), `sojourn` charges completion minus the request's scheduled arrival
+// (the open-loop view). A consumer that stalls — preempted, combining for
+// others, or the injected test stall — inflates the sojourn of every request
+// backed up behind it, which closed-loop service timing cannot see.
+template <ConcurrentStack S>
+std::uint64_t phase_serve_consume(S& stack, const std::atomic<bool>& stop,
+                                  const ServeConsumeArgs& a,
+                                  LatencyHistogram& sojourn,
+                                  LatencyHistogram& service) {
+    using Clock = std::chrono::steady_clock;
+    std::uint64_t done = 0;
+    bool stalled = false;
+    sec::detail::Backoff backoff;
+    for (;;) {
+        detail::quiesce_hook(stack);
+        if (!stalled && a.stall_ns != 0 && done >= a.stall_after_op) {
+            stalled = true;
+            sec::detail::spin_for_ns(a.stall_ns);
+        }
+        const auto t0 = Clock::now();
+        const auto v = stack.pop();
+        const auto t1 = Clock::now();
+        if (v) {
+            service.record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()));
+            const auto due =
+                a.epoch + std::chrono::nanoseconds(static_cast<std::uint64_t>(
+                              static_cast<AnyStack::value_type>(*v)));
+            sojourn.record(
+                t1 > due ? static_cast<std::uint64_t>(
+                               std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(t1 - due)
+                                   .count())
+                         : 0);
+            ++done;
+        } else if (stop.load(std::memory_order_relaxed)) {
+            // Producers joined before `stop` was set, so an empty pop after
+            // observing it means the buffer is drained for good.
+            break;
+        } else {
+            backoff.pause();
+        }
+    }
+    detail::offline_hook(stack);
+    return done;
+}
+
 template <ConcurrentStack S>
 std::uint64_t phase_timed_until(S& stack, const std::atomic<bool>& stop,
                                 const PhaseArgs& args, LatencyHistogram& hist) {
@@ -214,6 +298,15 @@ public:
                               LatencyHistogram& hist) override {
         return phase_timed_until(*stack_, stop, args, hist);
     }
+    std::uint64_t serve_produce(const ServeProduceArgs& args) override {
+        return phase_serve_produce(*stack_, args);
+    }
+    std::uint64_t serve_consume(const std::atomic<bool>& stop,
+                                const ServeConsumeArgs& args,
+                                LatencyHistogram& sojourn,
+                                LatencyHistogram& service) override {
+        return phase_serve_consume(*stack_, stop, args, sojourn, service);
+    }
 
     bool has_stats() const override {
         return requires(const S& s) {
@@ -276,6 +369,7 @@ inline std::uint64_t phase_seed(std::uint64_t base, unsigned t, unsigned run,
 // pointer (caller keeps the structure alive, e.g. to read stats afterwards).
 template <class Factory>
 RunResult run_throughput(Factory&& make, const RunConfig& cfg) {
+    using Clock = std::chrono::steady_clock;
     RunResult result;
     if (cfg.threads == 0) return result;  // see RunConfig::threads
     for (unsigned run = 0; run < cfg.runs; ++run) {
@@ -284,6 +378,14 @@ RunResult run_throughput(Factory&& make, const RunConfig& cfg) {
 
         std::atomic<bool> stop{false};
         std::vector<CacheAligned<std::uint64_t>> ops(cfg.threads);
+        // Workers time their own measured span (one_phased_round /
+        // run_churn_any's trick): ops completed between the coordinator's
+        // stop store and the worker's exit are real work, and charging them
+        // against the coordinator's sleep window — which excludes that
+        // overshoot — used to inflate short-window results by a scheduling-
+        // dependent amount.
+        std::vector<CacheAligned<Clock::time_point>> begins(cfg.threads);
+        std::vector<CacheAligned<Clock::time_point>> ends(cfg.threads);
         std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
 
         std::vector<std::thread> workers;
@@ -299,20 +401,26 @@ RunResult run_throughput(Factory&& make, const RunConfig& cfg) {
                 phase_prefill(stack, prefill_share(cfg.prefill, cfg.threads, t),
                               args);
                 sync.arrive_and_wait();
+                *begins[t] = Clock::now();
                 args.seed = phase_seed(cfg.seed, t, run);
                 *ops[t] = phase_mixed_until(stack, stop, args);
+                *ends[t] = Clock::now();
             });
         }
 
         sync.arrive_and_wait();
-        const auto start = std::chrono::steady_clock::now();
         std::this_thread::sleep_for(cfg.duration);
         stop.store(true, std::memory_order_relaxed);
-        const auto end = std::chrono::steady_clock::now();
         for (auto& w : workers) w.join();
 
         std::uint64_t total = 0;
         for (const auto& c : ops) total += *c;
+        Clock::time_point start = *begins[0];
+        Clock::time_point end = *ends[0];
+        for (unsigned t = 1; t < cfg.threads; ++t) {
+            if (*begins[t] < start) start = *begins[t];
+            if (*ends[t] > end) end = *ends[t];
+        }
         const double us = std::chrono::duration<double, std::micro>(
                               end - start)
                               .count();

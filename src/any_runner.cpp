@@ -13,11 +13,19 @@
 namespace sec::bench {
 namespace {
 
-// One timed window on `stack`; accumulates into `result`.
+// One timed window on `stack`; accumulates into `result`. Workers time
+// their own measured span (one_phased_round's trick, below): ops completed
+// between the coordinator's stop store and the worker's exit are real work,
+// and charging them against the coordinator's sleep window — which excludes
+// that overshoot — used to inflate short-window results by a scheduling-
+// dependent amount.
 void one_round(AnyStack& stack, const RunConfig& cfg, unsigned run,
                RunResult& result) {
+    using Clock = std::chrono::steady_clock;
     std::atomic<bool> stop{false};
     std::vector<CacheAligned<std::uint64_t>> ops(cfg.threads);
+    std::vector<CacheAligned<Clock::time_point>> begins(cfg.threads);
+    std::vector<CacheAligned<Clock::time_point>> ends(cfg.threads);
     std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
 
     std::vector<std::thread> workers;
@@ -30,20 +38,26 @@ void one_round(AnyStack& stack, const RunConfig& cfg, unsigned run,
             args.seed = phase_seed(cfg.seed, t, run, 1);
             stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
             sync.arrive_and_wait();
+            *begins[t] = Clock::now();
             args.seed = phase_seed(cfg.seed, t, run);
             *ops[t] = stack.mixed_until(stop, args);
+            *ends[t] = Clock::now();
         });
     }
 
     sync.arrive_and_wait();
-    const auto start = std::chrono::steady_clock::now();
     std::this_thread::sleep_for(cfg.duration);
     stop.store(true, std::memory_order_relaxed);
-    const auto end = std::chrono::steady_clock::now();
     for (auto& w : workers) w.join();
 
     std::uint64_t total = 0;
     for (const auto& c : ops) total += *c;
+    Clock::time_point start = *begins[0];
+    Clock::time_point end = *ends[0];
+    for (unsigned t = 1; t < cfg.threads; ++t) {
+        if (*begins[t] < start) start = *begins[t];
+        if (*ends[t] > end) end = *ends[t];
+    }
     const double us =
         std::chrono::duration<double, std::micro>(end - start).count();
     result.total_ops += total;

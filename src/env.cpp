@@ -1,6 +1,8 @@
 // env.cpp — EnvConfig::load and the bench preamble.
 #include "workload/env.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -13,33 +15,99 @@ namespace {
 
 const char* get_env(const char* name) { return std::getenv(name); }
 
+// Strict digits-only parse. Returns false on empty input, signs, spaces, or
+// trailing junk — "abc" must not read as 0 and "2OO" must not read as 2,
+// which is what a bare strtoul gave these knobs for five PRs.
+bool parse_u64_strict(const char* v, std::uint64_t& out) {
+    if (v == nullptr || *v == '\0') return false;
+    if (!std::isdigit(static_cast<unsigned char>(v[0]))) return false;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE) return false;
+    out = parsed;
+    return true;
+}
+
 unsigned env_unsigned(const char* name, unsigned fallback) {
     const char* v = get_env(name);
     if (v == nullptr || *v == '\0') return fallback;
-    return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    std::uint64_t parsed = 0;
+    if (!parse_u64_strict(v, parsed) ||
+        parsed > std::uint64_t{0xFFFFFFFFull}) {
+        std::fprintf(stderr,
+                     "secbench: ignoring %s='%s' (not an unsigned integer); "
+                     "using %u\n",
+                     name, v, fallback);
+        return fallback;
+    }
+    return static_cast<unsigned>(parsed);
 }
 
 std::size_t env_size(const char* name, std::size_t fallback) {
     const char* v = get_env(name);
     if (v == nullptr || *v == '\0') return fallback;
-    return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    std::uint64_t parsed = 0;
+    if (!parse_u64_strict(v, parsed)) {
+        std::fprintf(stderr,
+                     "secbench: ignoring %s='%s' (not an unsigned integer); "
+                     "using %zu\n",
+                     name, v, fallback);
+        return fallback;
+    }
+    return static_cast<std::size_t>(parsed);
 }
 
-std::vector<unsigned> parse_grid(const char* csv) {
+// Whole-grid-or-nothing parse of a comma/space-separated thread grid: one
+// bad token rejects the grid with a warning (the caller keeps its previous
+// grid), because silently dropping the tail of "4,8,x16" used to run a
+// different experiment than the one the user asked for.
+std::vector<unsigned> parse_grid(const char* name, const char* csv) {
     std::vector<unsigned> grid;
-    const char* p = csv;
-    while (*p != '\0') {
-        char* end = nullptr;
-        const unsigned long v = std::strtoul(p, &end, 10);
-        if (end == p) break;
-        if (v > 0) grid.push_back(static_cast<unsigned>(v));
-        p = end;
-        while (*p == ',' || *p == ' ') ++p;
+    std::string token;
+    auto flush = [&]() -> bool {
+        if (token.empty()) return true;
+        std::uint64_t v = 0;
+        if (!parse_u64_strict(token.c_str(), v) || v == 0 ||
+            v > std::uint64_t{0xFFFFFFFFull}) {
+            std::fprintf(stderr,
+                         "secbench: ignoring %s='%s' ('%s' is not a positive "
+                         "integer); keeping the previous thread grid\n",
+                         name, csv, token.c_str());
+            return false;
+        }
+        grid.push_back(static_cast<unsigned>(v));
+        token.clear();
+        return true;
+    };
+    for (const char* p = csv;; ++p) {
+        if (*p == ',' || *p == ' ' || *p == '\0') {
+            if (!flush()) return {};
+            if (*p == '\0') break;
+        } else {
+            token += *p;
+        }
     }
     return grid;
 }
 
 }  // namespace
+
+void clamp_thread_grid(std::vector<unsigned>& grid, const char* origin) {
+    // Head-room of 8 below kMaxThreads for the coordinator, main, and
+    // gtest-style environment threads that share the tid space with the
+    // workers.
+    const unsigned bound = static_cast<unsigned>(kMaxThreads) - 8;
+    for (unsigned& t : grid) {
+        if (t > bound) {
+            std::fprintf(stderr,
+                         "secbench: clamping %s thread count %u to %u "
+                         "(kMaxThreads=%zu minus harness head-room)\n",
+                         origin, t, bound, kMaxThreads);
+            t = bound;
+        }
+    }
+}
 
 EnvConfig EnvConfig::load() {
     EnvConfig cfg;
@@ -68,13 +136,11 @@ EnvConfig EnvConfig::load() {
                                           cfg.value_range));
     cfg.seed = env_size("SEC_BENCH_SEED", cfg.seed);
     if (const char* grid = get_env("SEC_BENCH_THREADS")) {
-        std::vector<unsigned> parsed = parse_grid(grid);
+        std::vector<unsigned> parsed = parse_grid("SEC_BENCH_THREADS", grid);
         if (!parsed.empty()) cfg.threads = std::move(parsed);
     }
     if (cfg.threads.empty()) cfg.threads = {2, 4, 8};
-    for (unsigned& t : cfg.threads) {
-        t = std::min<unsigned>(t, static_cast<unsigned>(kMaxThreads) - 8);
-    }
+    clamp_thread_grid(cfg.threads, "SEC_BENCH_THREADS");
     return cfg;
 }
 

@@ -5,15 +5,18 @@
 
 namespace sec::bench {
 
-Table::Table(std::string name, std::vector<std::string> columns)
-    : name_(std::move(name)), columns_(std::move(columns)) {}
+Table::Table(std::string name, std::vector<std::string> columns,
+             std::string unit)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      unit_(std::move(unit)) {}
 
 void Table::add(unsigned threads, std::string_view column, double value) {
     rows_[threads][std::string(column)] = value;
 }
 
 void Table::print() const {
-    std::printf("\n== %s (Mops/s) ==\n", name_.c_str());
+    std::printf("\n== %s (%s) ==\n", name_.c_str(), unit_.c_str());
     std::printf("%-8s", "threads");
     for (const auto& c : columns_) std::printf(" %12s", c.c_str());
     std::printf("\n");

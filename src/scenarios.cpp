@@ -19,6 +19,7 @@
 #include "workload/any_runner.hpp"
 #include "workload/histogram.hpp"
 #include "workload/registry.hpp"
+#include "workload/service.hpp"
 #include "workload/sweep.hpp"
 
 namespace sec::bench {
@@ -759,6 +760,140 @@ int sharding(const ScenarioContext& ctx) {
     return 0;
 }
 
+// ---- service: open-loop offered-load tail latency (DESIGN.md §9) -----------
+
+// Lane split for one grid point: the grid value is the CONSUMER count (the
+// serving capacity under comparison); producers are pure load generators
+// and scale at half that, bounded below by one.
+ServiceConfig service_config(const ScenarioContext& ctx, unsigned consumers,
+                             double load_kops, ArrivalKind arrival) {
+    ServiceConfig scfg;
+    scfg.consumers = consumers;
+    scfg.producers = std::max(1u, (consumers + 1) / 2);
+    scfg.load_kops = load_kops;
+    scfg.duration = std::chrono::milliseconds(ctx.env.duration_ms);
+    scfg.arrival = arrival;
+    scfg.seed = ctx.env.seed;
+    return scfg;
+}
+
+// Arrival kind from --arrival / SEC_BENCH_ARRIVAL; rejects typos loudly
+// (a mislabelled arrival process corrupts every row it produces).
+std::optional<ArrivalKind> scenario_arrival(const ScenarioContext& ctx) {
+    const auto kind =
+        parse_arrival(ctx.arrival.empty() ? "poisson" : ctx.arrival);
+    if (!kind) {
+        std::fprintf(stderr,
+                     "secbench: unknown arrival process '%s' (poisson, "
+                     "burst)\n",
+                     ctx.arrival.c_str());
+    }
+    return kind;
+}
+
+int service(const ScenarioContext& ctx) {
+    const auto arrival = scenario_arrival(ctx);
+    if (!arrival) return 2;
+    const double load =
+        ctx.load_kops > 0 ? ctx.load_kops : (ctx.smoke ? 5.0 : 50.0);
+    std::printf(
+        "# open-loop service at %.1f Kops/s offered load, %s arrivals;\n"
+        "# sojourn = completion - SCHEDULED arrival (queueing delay "
+        "included,\n"
+        "# no coordinated omission), service = the pop call alone; grid "
+        "value\n"
+        "# = consumers, producers = half that\n",
+        load, std::string(arrival_name(*arrival)).c_str());
+    Table table("service_p99_us", ctx.columns(), "us");
+    for (unsigned t : ctx.env.threads) {
+        const ServiceConfig scfg = service_config(ctx, t, load, *arrival);
+        for (const AlgoSpec* a : ctx.algos) {
+            StackParams params;
+            params.threads = scfg.producers + scfg.consumers;
+            const ServiceResult r =
+                run_service_any([&] { return a->make(params); }, scfg);
+            const double p50_us = r.sojourn.quantile_ns(0.50) / 1000.0;
+            const double p99_us = r.sojourn.quantile_ns(0.99) / 1000.0;
+            const double p999_us = r.sojourn.quantile_ns(0.999) / 1000.0;
+            const double svc_p99_us = r.service.quantile_ns(0.99) / 1000.0;
+            std::printf(
+                "SERVICE %-10s t=%-4u offered=%8.2f achieved=%8.2f Kops/s "
+                "done=%llu/%llu sojourn p50=%9.1fus p99=%9.1fus "
+                "p999=%9.1fus | service p99=%9.1fus\n",
+                a->name.c_str(), t, r.offered_kops, r.achieved_kops,
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.produced), p50_us, p99_us,
+                p999_us, svc_p99_us);
+            table.add(t, a->name, p99_us);
+            const std::string key = a->name + "@t" + std::to_string(t);
+            ctx.csv_row("service", key, "offered_kops", r.offered_kops);
+            ctx.csv_row("service", key, "achieved_kops", r.achieved_kops);
+            ctx.csv_row("service", key, "completed",
+                        static_cast<double>(r.completed));
+            ctx.csv_row("service", key, "sojourn_p50_us", p50_us);
+            ctx.csv_row("service", key, "sojourn_p99_us", p99_us);
+            ctx.csv_row("service", key, "sojourn_p999_us", p999_us);
+            ctx.csv_row("service", key, "service_p99_us", svc_p99_us);
+        }
+    }
+    ctx.emit(table);
+    return 0;
+}
+
+// ---- knee: max sustainable load before the p99 explodes (DESIGN.md §9) -----
+
+int knee(const ScenarioContext& ctx) {
+    const auto arrival = scenario_arrival(ctx);
+    if (!arrival) return 2;
+    KneeConfig kc;
+    if (ctx.load_kops > 0) kc.start_kops = ctx.load_kops;
+    if (ctx.smoke) {
+        kc.start_kops = ctx.load_kops > 0 ? ctx.load_kops : 2.0;
+        kc.max_kops = 512.0;
+        kc.refine_steps = 2;
+    }
+    std::printf(
+        "# binary search for the highest offered load whose open-loop "
+        "sojourn\n"
+        "# p99 stays under %.1f ms (%s arrivals); each probe is one %u ms "
+        "window\n",
+        static_cast<double>(kc.p99_limit_ns) / 1e6,
+        std::string(arrival_name(*arrival)).c_str(), ctx.env.duration_ms);
+    Table table("service_knee_kops", ctx.columns(), "Kops/s");
+    for (unsigned t : ctx.env.threads) {
+        for (const AlgoSpec* a : ctx.algos) {
+            const ServiceConfig scfg =
+                service_config(ctx, t, kc.start_kops, *arrival);
+            StackParams params;
+            params.threads = scfg.producers + scfg.consumers;
+            const KneeResult kr = find_service_knee(
+                [&] { return a->make(params); }, scfg, kc,
+                [&](double kops, double p99, bool ok) {
+                    std::fprintf(stderr,
+                                 "  %-10s t=%-4u probe %9.2f Kops/s p99=%9.2f "
+                                 "ms %s\n",
+                                 a->name.c_str(), t, kops, p99 / 1e6,
+                                 ok ? "ok" : "KNEE");
+                });
+            std::printf(
+                "KNEE %-10s t=%-4u sustainable=%9.2f Kops/s p99=%9.2f ms "
+                "(%u probes)\n",
+                a->name.c_str(), t, kr.sustainable_kops,
+                kr.p99_ns_at_knee / 1e6, kr.probes);
+            table.add(t, a->name, kr.sustainable_kops);
+            const std::string key = a->name + "@t" + std::to_string(t);
+            ctx.csv_row("service_knee", key, "sustainable_kops",
+                        kr.sustainable_kops);
+            ctx.csv_row("service_knee", key, "p99_ns_at_knee",
+                        kr.p99_ns_at_knee);
+            ctx.csv_row("service_knee", key, "probes",
+                        static_cast<double>(kr.probes));
+        }
+    }
+    ctx.emit(table);
+    return 0;
+}
+
 // ---- micro: static vs type-erased hot-loop parity + per-op cost ------------
 
 double timed_mops(std::uint64_t ops, const std::function<void()>& body) {
@@ -871,6 +1006,14 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
              "SEC vs SEC@shardK: Mops + per-shard imbalance + steal rate "
              "(DESIGN.md §8)",
              sharding});
+    reg.add({"service",
+             "open-loop offered-load tail latency, no coordinated omission "
+             "(DESIGN.md §9)",
+             service});
+    reg.add({"knee",
+             "max sustainable offered load before the sojourn p99 explodes "
+             "(DESIGN.md §9)",
+             knee});
     reg.add({"micro",
              "static vs type-erased hot-loop parity + single-thread op cost",
              micro});

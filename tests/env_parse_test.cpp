@@ -1,0 +1,110 @@
+// env_parse_test.cpp — EnvConfig::load's parsing contract: garbage values
+// are rejected with the default kept (never silently read as 0 or a
+// truncated prefix), a thread grid with any bad token is rejected whole,
+// and over-bound thread counts are clamped to the library's live-thread
+// bound with a warning — by clamp_thread_grid, the function the CLI path
+// shares.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/common.hpp"
+#include "workload/env.hpp"
+
+namespace sb = sec::bench;
+
+namespace {
+
+constexpr const char* kKnobs[] = {
+    "SEC_BENCH_PAPER",       "SEC_BENCH_DURATION_MS", "SEC_BENCH_RUNS",
+    "SEC_BENCH_THREADS",     "SEC_BENCH_PREFILL",     "SEC_BENCH_VALUE_RANGE",
+    "SEC_BENCH_SEED",        "SEC_BENCH_RECLAIM",     "SEC_BENCH_SHARDS",
+    "SEC_BENCH_LOAD",        "SEC_BENCH_ARRIVAL",
+};
+
+// Every test starts and ends from a clean environment so the suite is
+// immune to whatever the invoking shell exports.
+class EnvParseTest : public ::testing::Test {
+protected:
+    void SetUp() override { clear(); }
+    void TearDown() override { clear(); }
+    static void clear() {
+        for (const char* k : kKnobs) unsetenv(k);
+    }
+};
+
+const std::vector<unsigned> kDefaultGrid = {2, 4, 8};
+constexpr unsigned kThreadBound = static_cast<unsigned>(sec::kMaxThreads) - 8;
+
+}  // namespace
+
+TEST_F(EnvParseTest, DefaultsWithoutEnvironment) {
+    const sb::EnvConfig cfg = sb::EnvConfig::load();
+    EXPECT_EQ(cfg.duration_ms, 200u);
+    EXPECT_EQ(cfg.runs, 1u);
+    EXPECT_EQ(cfg.threads, kDefaultGrid);
+}
+
+TEST_F(EnvParseTest, ValidValuesParse) {
+    setenv("SEC_BENCH_DURATION_MS", "350", 1);
+    setenv("SEC_BENCH_RUNS", "3", 1);
+    setenv("SEC_BENCH_PREFILL", "5000", 1);
+    setenv("SEC_BENCH_SEED", "42", 1);
+    const sb::EnvConfig cfg = sb::EnvConfig::load();
+    EXPECT_EQ(cfg.duration_ms, 350u);
+    EXPECT_EQ(cfg.runs, 3u);
+    EXPECT_EQ(cfg.prefill, 5000u);
+    EXPECT_EQ(cfg.seed, 42u);
+}
+
+TEST_F(EnvParseTest, GarbageDurationKeepsTheDefault) {
+    // strtoul would have read "abc" as 0: a zero-length measured window.
+    setenv("SEC_BENCH_DURATION_MS", "abc", 1);
+    EXPECT_EQ(sb::EnvConfig::load().duration_ms, 200u);
+}
+
+TEST_F(EnvParseTest, TrailingJunkIsNotATruncatedPrefix) {
+    // strtoul would have read "2OO" (letter O typos) as 2 ms.
+    setenv("SEC_BENCH_DURATION_MS", "2OO", 1);
+    EXPECT_EQ(sb::EnvConfig::load().duration_ms, 200u);
+}
+
+TEST_F(EnvParseTest, SignedValuesAreRejected) {
+    // strtoul happily wraps "-5" to a huge unsigned value.
+    setenv("SEC_BENCH_DURATION_MS", "-5", 1);
+    EXPECT_EQ(sb::EnvConfig::load().duration_ms, 200u);
+    setenv("SEC_BENCH_PREFILL", "+10", 1);
+    EXPECT_EQ(sb::EnvConfig::load().prefill, 1000u);
+}
+
+TEST_F(EnvParseTest, ValidThreadGridParses) {
+    setenv("SEC_BENCH_THREADS", "1,3,5", 1);
+    const std::vector<unsigned> expected = {1, 3, 5};
+    EXPECT_EQ(sb::EnvConfig::load().threads, expected);
+}
+
+TEST_F(EnvParseTest, GridWithABadTokenIsRejectedWhole) {
+    // The old parser kept {4, 8} and dropped the tail — a different
+    // experiment than the one asked for. Whole-grid-or-nothing instead.
+    setenv("SEC_BENCH_THREADS", "4,8,x16", 1);
+    EXPECT_EQ(sb::EnvConfig::load().threads, kDefaultGrid);
+}
+
+TEST_F(EnvParseTest, GridWithAZeroTokenIsRejectedWhole) {
+    setenv("SEC_BENCH_THREADS", "0,4", 1);
+    EXPECT_EQ(sb::EnvConfig::load().threads, kDefaultGrid);
+}
+
+TEST_F(EnvParseTest, OverBoundThreadCountIsClampedNotDropped) {
+    setenv("SEC_BENCH_THREADS", "1000", 1);
+    const std::vector<unsigned> expected = {kThreadBound};
+    EXPECT_EQ(sb::EnvConfig::load().threads, expected);
+}
+
+TEST_F(EnvParseTest, ClampThreadGridOnlyRewritesOverBoundEntries) {
+    std::vector<unsigned> grid = {10, 1000, kThreadBound};
+    sb::clamp_thread_grid(grid, "test");
+    const std::vector<unsigned> expected = {10, kThreadBound, kThreadBound};
+    EXPECT_EQ(grid, expected);
+}

@@ -1,0 +1,102 @@
+// histogram_test.cpp — LatencyHistogram's bucket mapping and quantile
+// contract: the log-bucketed layout promises <= 6.25% (1/16) relative error,
+// bucket_bound is the inverse of bucket_of over the non-saturating range,
+// quantiles behave at the q=0 / q=1 / empty / single-sample edges, and
+// merge_from is equivalent to recording everything into one histogram.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/histogram.hpp"
+
+namespace sb = sec::bench;
+using H = sb::LatencyHistogram;
+
+TEST(HistogramBuckets, BoundCoversTheValueWithinRelativeError) {
+    // A spread of magnitudes, including sub-bucket-exact small values and
+    // values straddling major-bucket boundaries.
+    const std::uint64_t samples[] = {0,     1,     15,      16,      17,
+                                     100,   1023,  1024,    1025,    999'999,
+                                     1'000'000, 123'456'789, 1'000'000'000,
+                                     std::uint64_t{1} << 40};
+    for (std::uint64_t ns : samples) {
+        const std::size_t b = H::bucket_of(ns);
+        const std::uint64_t bound = H::bucket_bound(b);
+        EXPECT_GE(bound, ns) << "ns=" << ns;
+        // 1/16 sub-bucket granularity: the bound overshoots by at most one
+        // sub-bucket width (6.25%), plus the off-by-one of integer bounds.
+        EXPECT_LE(static_cast<double>(bound),
+                  static_cast<double>(ns) * (1.0 + 1.0 / 16.0) + 1.0)
+            << "ns=" << ns;
+    }
+}
+
+TEST(HistogramBuckets, BucketOfIsTheInverseOfBucketBound) {
+    // Majors >= 60 have bounds beyond 2^63 where the shift saturates, so
+    // the round-trip contract covers the buckets any real latency can hit.
+    for (std::size_t i = 0; i < 60 * 16; ++i) {
+        EXPECT_EQ(H::bucket_of(H::bucket_bound(i)), i) << "bucket " << i;
+    }
+}
+
+TEST(HistogramBuckets, HugeValuesSaturateInRange) {
+    EXPECT_LT(H::bucket_of(~std::uint64_t{0}), H::bucket_count());
+}
+
+TEST(HistogramQuantile, EmptyHistogramReportsZero) {
+    H h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.quantile_ns(0.5), 0u);
+    EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(HistogramQuantile, SingleSampleDominatesEveryQuantile) {
+    H h;
+    h.record(100);
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+        const std::uint64_t v = h.quantile_ns(q);
+        EXPECT_GE(v, 100u) << "q=" << q;
+        EXPECT_LE(v, 107u) << "q=" << q;  // one sub-bucket of slack
+    }
+}
+
+TEST(HistogramQuantile, OutOfRangeQIsClamped) {
+    H h;
+    h.record(50);
+    EXPECT_EQ(h.quantile_ns(-1.0), h.quantile_ns(0.0));
+    EXPECT_EQ(h.quantile_ns(2.0), h.quantile_ns(1.0));
+}
+
+TEST(HistogramQuantile, QuantilesAreMonotoneOverASpread) {
+    H h;
+    for (std::uint64_t i = 1; i <= 1000; ++i) h.record(i * 1000);
+    std::uint64_t prev = 0;
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        const std::uint64_t v = h.quantile_ns(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+    // The p50 of 1..1000 µs sits near 500 µs, within bucket error.
+    const double p50 = static_cast<double>(h.quantile_ns(0.5));
+    EXPECT_GT(p50, 450'000.0);
+    EXPECT_LT(p50, 560'000.0);
+}
+
+TEST(HistogramMerge, MergeFromEqualsRecordingIntoOne) {
+    H a, b, all;
+    for (std::uint64_t i = 1; i <= 500; ++i) {
+        a.record(i * 7);
+        all.record(i * 7);
+    }
+    for (std::uint64_t i = 1; i <= 300; ++i) {
+        b.record(i * 1031);
+        all.record(i * 1031);
+    }
+    a.merge_from(b);
+    EXPECT_EQ(a.total(), all.total());
+    EXPECT_DOUBLE_EQ(a.mean_ns(), all.mean_ns());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_EQ(a.quantile_ns(q), all.quantile_ns(q)) << "q=" << q;
+    }
+}
