@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/sharded_stack.hpp"
+#include "workload/bench_json.hpp"
 #include "workload/registry.hpp"
 #include "workload/service.hpp"
 
@@ -61,6 +62,21 @@ int usage(std::FILE* out) {
                  "poisson | burst\n"
                  "  --scenario NAME    alias for the positional scenario "
                  "argument\n"
+                 "  --json PATH        write a BENCH_*.json perf snapshot "
+                 "(every cell + run\n"
+                 "                     metadata; REPRODUCING.md documents "
+                 "the schema)\n"
+                 "  --baseline PATH    re-run the pinned config a snapshot "
+                 "records and compare\n"
+                 "                     per cell (median-of-N + scale "
+                 "normalization); exit 1 on\n"
+                 "                     regressions beyond tolerance\n"
+                 "  --repeats N        snapshot repetitions for the "
+                 "median-of-N noise guard\n"
+                 "                     (default 1; --baseline defaults to "
+                 "the baseline's count)\n"
+                 "  --tolerance PCT    gate width for --baseline, percent "
+                 "(default 10)\n"
                  "  --smoke            tiny smoke preset (25 ms, 2 threads, 1 "
                  "run)\n"
                  "  --paper            the paper's 5 s x 5-run methodology\n"
@@ -121,6 +137,10 @@ int main(int argc, char** argv) {
     std::vector<std::string> scenarios;
     std::vector<std::string> algo_names;
     const char* csv_path = nullptr;
+    const char* json_path = nullptr;
+    const char* baseline_path = nullptr;
+    unsigned repeats = 0;      // 0 = default (1, or the baseline's count)
+    double tolerance = 10.0;   // --baseline gate width, percent
     const char* reclaim_scheme = nullptr;
     const char* sweep_spec = nullptr;
     unsigned shards = 0;
@@ -168,6 +188,36 @@ int main(int argc, char** argv) {
             value_range = std::strtoll(next_value(i, arg), nullptr, 10);
         } else if (std::strcmp(arg, "--csv") == 0) {
             csv_path = next_value(i, arg);
+        } else if (std::strcmp(arg, "--json") == 0) {
+            json_path = next_value(i, arg);
+        } else if (std::strcmp(arg, "--baseline") == 0) {
+            baseline_path = next_value(i, arg);
+        } else if (std::strcmp(arg, "--repeats") == 0) {
+            // Strict like --shards: a typo must not silently collapse the
+            // noise guard to a single run.
+            const char* value = next_value(i, arg);
+            char* end = nullptr;
+            const unsigned long parsed = std::strtoul(value, &end, 10);
+            if (end == value || *end != '\0' || parsed == 0 ||
+                parsed > 1000) {
+                std::fprintf(stderr,
+                             "secbench: --repeats '%s' must be an integer "
+                             "in [1, 1000]\n",
+                             value);
+                return 2;
+            }
+            repeats = static_cast<unsigned>(parsed);
+        } else if (std::strcmp(arg, "--tolerance") == 0) {
+            const char* value = next_value(i, arg);
+            char* end = nullptr;
+            tolerance = std::strtod(value, &end);
+            if (end == value || *end != '\0' || !(tolerance >= 0)) {
+                std::fprintf(stderr,
+                             "secbench: --tolerance '%s' must be a "
+                             "non-negative percent value\n",
+                             value);
+                return 2;
+            }
         } else if (std::strcmp(arg, "--seed") == 0) {
             seed = std::strtoll(next_value(i, arg), nullptr, 10);
         } else if (std::strcmp(arg, "--reclaim") == 0) {
@@ -233,7 +283,9 @@ int main(int argc, char** argv) {
     if (sweep_spec != nullptr && scenarios.empty() && !run_all) {
         scenarios.push_back("sweep");
     }
-    if (!run_all && scenarios.empty()) return usage(stderr);
+    if (!run_all && scenarios.empty() && baseline_path == nullptr) {
+        return usage(stderr);
+    }
 
     sb::ScenarioContext ctx;
     ctx.env = sb::EnvConfig::load();
@@ -289,6 +341,49 @@ int main(int argc, char** argv) {
         ctx.env.runs = 1;
         ctx.env.threads = {2};
         ctx.env.prefill = std::min<std::size_t>(ctx.env.prefill, 1000);
+    }
+    // --baseline: re-run the pinned configuration the snapshot records —
+    // scenario list, algorithm selection, and the effective EnvConfig — so
+    // the compare is like-for-like by construction. Explicit flags given
+    // alongside still win (they are applied below).
+    sb::json::Snapshot baseline;
+    if (baseline_path != nullptr) {
+        std::string err;
+        if (!sb::json::read_snapshot(baseline_path, baseline, &err)) {
+            std::fprintf(stderr, "secbench: cannot read baseline '%s': %s\n",
+                         baseline_path, err.c_str());
+            return 2;
+        }
+        if (scenarios.empty() && !run_all) {
+            scenarios = split_csv(baseline.meta.scenarios.c_str());
+            if (scenarios.empty()) {
+                std::fprintf(stderr,
+                             "secbench: baseline '%s' names no scenarios and "
+                             "none were given\n",
+                             baseline_path);
+                return 2;
+            }
+        }
+        if (algo_names.empty() && !baseline.meta.algos.empty()) {
+            algo_names = split_csv(baseline.meta.algos.c_str());
+        }
+        if (reclaim_scheme == nullptr && !baseline.meta.reclaim.empty()) {
+            reclaim_scheme = baseline.meta.reclaim.c_str();
+        }
+        ctx.smoke = smoke || baseline.meta.smoke;
+        if (baseline.meta.duration_ms > 0) {
+            ctx.env.duration_ms = baseline.meta.duration_ms;
+        }
+        if (baseline.meta.runs > 0) ctx.env.runs = baseline.meta.runs;
+        if (!baseline.meta.threads.empty()) {
+            ctx.env.threads = baseline.meta.threads;
+        }
+        ctx.env.prefill = baseline.meta.prefill;
+        if (baseline.meta.value_range > 0) {
+            ctx.env.value_range = baseline.meta.value_range;
+        }
+        ctx.env.seed = baseline.meta.seed;
+        if (repeats == 0) repeats = std::max(1u, baseline.meta.repeats);
     }
     if (duration_ms > 0) ctx.env.duration_ms = duration_ms;
     if (runs > 0) ctx.env.runs = runs;
@@ -386,11 +481,74 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Snapshot runs: repeat the whole scenario list `repeats` times, each
+    // into its own cell set, and keep per-cell medians (the noise guard).
+    // Without --json/--baseline there is nothing to median, so one pass.
+    const bool want_snapshot = json_path != nullptr || baseline_path != nullptr;
+    const unsigned reps = want_snapshot ? std::max(1u, repeats) : 1;
+    if (!want_snapshot && repeats > 1) {
+        std::fprintf(stderr,
+                     "secbench: --repeats has no effect without --json or "
+                     "--baseline\n");
+    }
+    std::vector<sb::json::Snapshot> snaps;
     int rc = 0;
-    for (const std::string& name : scenarios) {
-        const int one = sb::run_scenario(name, ctx);
-        if (one != 0 && rc == 0) rc = one;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        sb::json::Snapshot snap;
+        ctx.json = want_snapshot ? &snap : nullptr;
+        if (reps > 1) {
+            std::fprintf(stderr, "# snapshot repeat %u/%u\n", rep + 1, reps);
+        }
+        for (const std::string& name : scenarios) {
+            const int one = sb::run_scenario(name, ctx);
+            if (one != 0 && rc == 0) rc = one;
+        }
+        if (want_snapshot) snaps.push_back(std::move(snap));
     }
     if (csv != nullptr) std::fclose(csv);
+
+    if (want_snapshot) {
+        sb::json::Snapshot current = sb::json::median_of(snaps);
+        sb::json::Metadata meta = sb::json::build_metadata();
+        auto join = [](const auto& items, auto&& name_of) {
+            std::string out;
+            for (const auto& item : items) {
+                if (!out.empty()) out += ',';
+                out += name_of(item);
+            }
+            return out;
+        };
+        meta.scenarios =
+            join(scenarios, [](const std::string& s) { return s; });
+        meta.algos =
+            join(ctx.algos, [](const sb::AlgoSpec* a) { return a->name; });
+        meta.reclaim = ctx.reclaim;
+        meta.smoke = ctx.smoke;
+        meta.threads = ctx.env.threads;
+        meta.duration_ms = ctx.env.duration_ms;
+        meta.runs = ctx.env.runs;
+        meta.repeats = reps;
+        meta.prefill = ctx.env.prefill;
+        meta.value_range = ctx.env.value_range;
+        meta.seed = ctx.env.seed;
+        current.meta = std::move(meta);
+
+        if (json_path != nullptr) {
+            std::string err;
+            if (sb::json::write_snapshot(current, json_path, &err)) {
+                std::fprintf(stderr, "# wrote %zu cells to %s\n",
+                             current.cells.size(), json_path);
+            } else {
+                std::fprintf(stderr, "secbench: %s\n", err.c_str());
+                if (rc == 0) rc = 2;
+            }
+        }
+        if (baseline_path != nullptr) {
+            const sb::json::CompareResult cmp =
+                sb::json::compare(baseline, current, tolerance);
+            sb::json::print_compare(cmp, stdout);
+            if (!cmp.ok() && rc == 0) rc = 1;
+        }
+    }
     return rc;
 }

@@ -128,8 +128,12 @@ public:
         for (;;) {
             std::uint32_t st = slot.state.load(std::memory_order_acquire);
             if (st >= kDonePushed) return consume(slot, st);
-            const std::size_t cur = agg_of(id, tune.active);
-            if (adaptive && cur != recorded) {
+            // Static configurations never remap: `recorded` IS the home
+            // aggregator for the thread's lifetime, so the mul/div mapping
+            // is hoisted out of the attempt loop entirely.
+            const std::size_t cur =
+                adaptive ? agg_of(id, tune.active) : recorded;
+            if (SEC_UNLIKELY(adaptive && cur != recorded)) {
                 // The active count moved under us: re-point our record to
                 // the current aggregator, under the OLD one's lock so no
                 // freezer of the old index can be scanning concurrently —
@@ -162,8 +166,11 @@ public:
             }
             backoff.pause();
             // One relaxed TuningState load per attempt keeps the mapping
-            // and the freeze parameters current while we wait.
-            tune = current_tune();
+            // and the freeze parameters current while we wait. Static
+            // configurations hoist it: their Tune is immutable, and the
+            // extra null-check-plus-copy per attempt was measurable on the
+            // uncontended path.
+            if (adaptive) tune = current_tune();
         }
     }
 
@@ -281,8 +288,15 @@ private:
             // needs the same lock to re-point its pin — pending slots stay
             // pending across the backoff.
             np = nq = 0;
-            for (std::uint32_t t : members) {
+            const std::size_t m = members.size();
+            for (std::size_t j = 0; j < m; ++j) {
+                const std::uint32_t t = members[j];
                 if (t >= hwm) break;
+                // Each Slot is its own cache line; touch the next member's
+                // line while this one's acquire load resolves.
+                if (j + 1 < m && members[j + 1] < hwm) {
+                    prefetch(&slots_[members[j + 1]]);
+                }
                 Slot& s = slots_[t];
                 const std::uint32_t st =
                     s.state.load(std::memory_order_acquire);

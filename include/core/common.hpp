@@ -13,7 +13,35 @@
 #include <immintrin.h>
 #endif
 
+// Branch-shape hints for the measured hot paths (spine walk, aggregator
+// execute loop, hazard validation, shard steal sweep). Only annotate
+// branches whose skew is structural — overflow fallbacks, CAS retries,
+// anchor invalidation — never ones whose skew is workload-dependent, so a
+// hint can't pessimize an unanticipated mix. Macros (not [[likely]]) so the
+// condition itself carries the hint into gcc/clang's block layout and they
+// compose inside `while` headers.
+#if defined(__GNUC__) || defined(__clang__)
+#define SEC_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define SEC_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#else
+#define SEC_LIKELY(x) (x)
+#define SEC_UNLIKELY(x) (x)
+#endif
+
 namespace sec {
+
+// Best-effort read prefetch into all cache levels. The pointer-chasing
+// walks (Treiber spine, member-slot scans) know the next line one step
+// before they dereference it; issuing the prefetch there overlaps the miss
+// with the current iteration's work. A no-op where the builtin is missing —
+// and always safe: prefetching an invalid address does not fault.
+inline void prefetch(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+    (void)p;
+#endif
+}
 
 // Upper bound on concurrently-live threads the library supports. Thread ids
 // are recycled when a thread exits, so this bounds *live* threads, not the

@@ -46,7 +46,10 @@ public:
     SecStack& operator=(const SecStack&) = delete;
 
     bool push(const V& v) {
-        if (aggs_.is_overflow(detail::tid())) {
+        // Overflow (more live threads than Config::max_threads) is a
+        // configuration escape hatch, not a steady state — keep the slotted
+        // batching path fall-through.
+        if (SEC_UNLIKELY(aggs_.is_overflow(detail::tid()))) {
             detail::spine_push_chain(top_, &v, 1);
             return true;
         }
@@ -63,7 +66,7 @@ public:
     }
 
     std::optional<V> pop() {
-        if (aggs_.is_overflow(detail::tid())) {
+        if (SEC_UNLIKELY(aggs_.is_overflow(detail::tid()))) {
             typename R::Guard guard(*domain_);
             V out;
             return detail::spine_pop_chain(top_, guard, &out, 1) == 1

@@ -126,6 +126,12 @@ public:
             }
         }
         counters_ = std::make_unique<Counters[]>(cfg_.max_threads);
+        // cfg_ is immutable after validate(), so the steal-sweep bound is a
+        // constant — computed once here instead of re-deriving (branch +
+        // min) on every pop that finds its home shard empty.
+        probe_bound_ = cfg_.steal_probes == 0
+                           ? cfg_.num_shards - 1
+                           : std::min(cfg_.steal_probes, cfg_.num_shards - 1);
     }
 
     ShardedStack(const ShardedStack&) = delete;
@@ -157,14 +163,24 @@ public:
         const std::size_t id = detail::tid();
         const std::size_t home = id % cfg_.num_shards;
         Counters* c = id < cfg_.max_threads ? &counters_[id] : nullptr;
-        if (auto v = shards_[home].inner->pop()) {
-            if (c != nullptr) bump(c->pop_by_shard[home]);
+        // The sweep exists for the imbalanced minority of pops; the home
+        // shard serving is the design's steady state (affinity).
+        if (auto v = shards_[home].inner->pop(); SEC_LIKELY(v.has_value())) {
+            if (SEC_LIKELY(c != nullptr)) bump(c->pop_by_shard[home]);
             return v;
         }
         // Home is empty: bounded round-robin steal sweep over the others.
-        const std::size_t probes = probe_bound();
-        for (std::size_t i = 1; i <= probes; ++i) {
-            const std::size_t s = (home + i) % cfg_.num_shards;
+        // Wrap by increment, not modulo — a div per probe is pure overhead
+        // on a path that already eats a cross-shard cache miss — and lean
+        // on the next victim's top-of-spine line while probing this one.
+        std::size_t s = home;
+        for (std::size_t i = 1; i <= probe_bound_; ++i) {
+            if (++s == cfg_.num_shards) s = 0;
+            if (i < probe_bound_) {
+                const std::size_t peek_next =
+                    s + 1 == cfg_.num_shards ? 0 : s + 1;
+                prefetch(shards_[peek_next].inner.get());
+            }
             if (c != nullptr) bump(c->probes);
             if (auto v = shards_[s].inner->pop()) {
                 if (c != nullptr) {
@@ -181,9 +197,9 @@ public:
     std::optional<value_type> peek() const {
         const std::size_t home = detail::tid() % cfg_.num_shards;
         if (auto v = shards_[home].inner->peek()) return v;
-        const std::size_t probes = probe_bound();
-        for (std::size_t i = 1; i <= probes; ++i) {
-            const std::size_t s = (home + i) % cfg_.num_shards;
+        std::size_t s = home;
+        for (std::size_t i = 1; i <= probe_bound_; ++i) {
+            if (++s == cfg_.num_shards) s = 0;
             if (auto v = shards_[s].inner->peek()) return v;
         }
         return std::nullopt;
@@ -273,13 +289,8 @@ private:
                 std::memory_order_relaxed);
     }
 
-    std::size_t probe_bound() const noexcept {
-        const std::size_t all = cfg_.num_shards - 1;
-        return cfg_.steal_probes == 0 ? all
-                                      : std::min(cfg_.steal_probes, all);
-    }
-
     ShardConfig cfg_;
+    std::size_t probe_bound_ = 0;  // foreign shards per sweep, fixed in ctor
     std::unique_ptr<Shard[]> shards_;
     std::unique_ptr<Counters[]> counters_;
 };

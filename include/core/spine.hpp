@@ -41,9 +41,12 @@ void spine_push_chain(std::atomic<SpineNode<V>*>& top, const V* vals,
         if (bottom == nullptr) bottom = chain;
     }
     bottom->next = top.load(std::memory_order_relaxed);
-    while (!top.compare_exchange_weak(bottom->next, chain,
-                                      std::memory_order_release,
-                                      std::memory_order_relaxed)) {
+    // At most K aggregator freezers race on `top`, so first-try success is
+    // the common case even at high thread counts — that is the point of
+    // batching (paper §3).
+    while (SEC_UNLIKELY(!top.compare_exchange_weak(
+        bottom->next, chain, std::memory_order_release,
+        std::memory_order_relaxed))) {
         cpu_relax();
     }
 }
@@ -62,25 +65,30 @@ std::size_t spine_pop_chain(std::atomic<SpineNode<V>*>& top, G& guard, V* out,
         bool restart = false;
         while (end != nullptr && count < n) {
             SpineNode<V>* next = end->next;
+            // Pull the line we will chase one iteration from now; the walk
+            // is otherwise a serial load-to-load dependency chain and eats
+            // a full miss per node on cold spines.
+            if (next != nullptr) prefetch(next);
             ++count;
             end = next;
             if (end != nullptr && count < n) {
                 // `end` is dereferenced next iteration: announce it, then
                 // revalidate the anchor (no-ops for blanket guards).
                 guard.publish(1u, end);
-                if (!guard.validate(top, head)) {
+                if (SEC_UNLIKELY(!guard.validate(top, head))) {
                     restart = true;
                     break;
                 }
             }
         }
-        if (restart) {
+        if (SEC_UNLIKELY(restart)) {
             cpu_relax();
             continue;
         }
         SpineNode<V>* expected = head;
-        if (top.compare_exchange_weak(expected, end, std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+        if (SEC_LIKELY(top.compare_exchange_weak(expected, end,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire))) {
             // The chain head..end is exclusively ours now; values are copied
             // out before each node is handed to the domain.
             SpineNode<V>* node = head;

@@ -59,7 +59,10 @@ public:
             for (;;) {
                 publish(slot, p);
                 T* q = src.load(std::memory_order_seq_cst);
-                if (q == p) return p;
+                // The announcement is stable unless `src` moved in the
+                // publish-to-revalidate window — a few nanoseconds, so one
+                // pass is the overwhelmingly common shape.
+                if (SEC_LIKELY(q == p)) return p;
                 p = q;
             }
         }

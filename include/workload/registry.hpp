@@ -28,6 +28,10 @@
 
 namespace sec::bench {
 
+namespace json {
+struct Snapshot;  // workload/bench_json.hpp
+}
+
 using Value = std::uint64_t;
 
 // Thread-bound passed to stack constructors: the N workers plus the main
@@ -134,6 +138,10 @@ struct ScenarioContext {
     EnvConfig env;
     std::vector<const AlgoSpec*> algos;  // selection, legend order
     std::FILE* csv = nullptr;            // optional CSV sink (secbench --csv)
+    // Optional BENCH_*.json snapshot sink (secbench --json / --baseline):
+    // emit() feeds every Table cell into it, csv_row() the table-less
+    // cells, so a snapshot is exactly what the run printed.
+    json::Snapshot* json = nullptr;
     bool smoke = false;                  // tiny-budget mode (secbench --smoke)
     // The --reclaim scheme, when given: `algos` is already rebound to its
     // variants, and the reclamation scenario restricts its matrix to this

@@ -18,6 +18,10 @@ public:
     Table(std::string name, std::vector<std::string> columns,
           std::string unit = "Mops/s");
 
+    // Adding a value for a (threads, column) cell that already holds one
+    // overwrites it (last write wins) but warns once per table on stderr —
+    // a duplicate cell is almost always a scenario bug (two series writing
+    // the same column, a row key collision), and silent overwrite hid it.
     void add(unsigned threads, std::string_view column, double value);
     void print() const;
 
@@ -27,11 +31,28 @@ public:
     static void write_csv_header(std::FILE* out);
 
     const std::string& name() const noexcept { return name_; }
+    const std::string& unit() const noexcept { return unit_; }
+    // Total duplicate-cell overwrites since construction (the warning
+    // prints only for the first; tests assert on this count).
+    unsigned duplicates() const noexcept { return duplicates_; }
+
+    // Visit every populated cell in grid order: fn(threads, column, value).
+    // The BENCH_*.json snapshot writer serializes tables through this.
+    template <class Fn>
+    void for_each_cell(Fn&& fn) const {
+        for (const auto& [threads, cells] : rows_) {
+            for (const auto& c : columns_) {
+                const auto it = cells.find(c);
+                if (it != cells.end()) fn(threads, c, it->second);
+            }
+        }
+    }
 
 private:
     std::string name_;
     std::vector<std::string> columns_;
     std::string unit_;
+    unsigned duplicates_ = 0;
     // threads -> column -> Mops (ordered so rows print in grid order).
     std::map<unsigned, std::map<std::string, double, std::less<>>> rows_;
 };

@@ -20,6 +20,10 @@ void HazardDomain::collect_hazards(std::vector<void*>& out) const {
         std::min(tid_bound_.load(std::memory_order_seq_cst), kMaxThreads);
     out.reserve(bound * kSlotsPerThread);
     for (std::size_t t = 0; t < bound; ++t) {
+        // One SlotBlock per cache line: start the next thread's line while
+        // this one's seq_cst loads drain (the scan walks every live
+        // thread's block on every kScanInterval-th retire).
+        if (t + 1 < bound) sec::prefetch(&slots_[t + 1]);
         for (unsigned k = 0; k < kSlotsPerThread; ++k) {
             void* p = slots_[t].hp[k].load(std::memory_order_seq_cst);
             if (p != nullptr) out.push_back(p);

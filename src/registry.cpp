@@ -12,6 +12,7 @@
 #include "reclaim/reclaim.hpp"
 #include "sec.hpp"
 #include "workload/any_runner.hpp"
+#include "workload/bench_json.hpp"
 
 namespace sec::bench {
 namespace {
@@ -387,10 +388,18 @@ void ScenarioContext::series(Table& table, const AlgoSpec& algo,
 void ScenarioContext::emit(const Table& table) const {
     table.print();
     if (csv != nullptr) table.write_csv(csv);
+    if (json != nullptr) {
+        table.for_each_cell([&](unsigned t, const std::string& col, double v) {
+            json->add(table.name(), std::to_string(t), col, table.unit(), v);
+        });
+    }
 }
 
 void ScenarioContext::csv_row(std::string_view table, std::string_view key,
                               std::string_view column, double value) const {
+    // csv_row cells carry no unit, so the snapshot compare reports but
+    // never gates them (workload/bench_json.hpp).
+    if (json != nullptr) json->add(table, key, column, "", value);
     if (csv == nullptr) return;
     std::fprintf(csv, "%.*s,%.*s,%.*s,%.4f\n", static_cast<int>(table.size()),
                  table.data(), static_cast<int>(key.size()), key.data(),

@@ -12,7 +12,17 @@ Table::Table(std::string name, std::vector<std::string> columns,
       unit_(std::move(unit)) {}
 
 void Table::add(unsigned threads, std::string_view column, double value) {
-    rows_[threads][std::string(column)] = value;
+    auto [it, inserted] = rows_[threads].emplace(column, value);
+    if (!inserted) {
+        if (duplicates_ == 0) {
+            std::fprintf(stderr,
+                         "Table '%s': duplicate cell (threads=%u, column=%s) "
+                         "overwritten — almost always a scenario bug\n",
+                         name_.c_str(), threads, std::string(column).c_str());
+        }
+        ++duplicates_;
+        it->second = value;
+    }
 }
 
 void Table::print() const {

@@ -943,8 +943,14 @@ int micro(const ScenarioContext& ctx) {
         "# single-thread mixed-op cost over %llu ops; 'static' calls\n"
         "# phase_mixed_ops<S> directly, 'erased' runs the same loop behind\n"
         "# AnyStack's one-virtual-call phase boundary — the two must agree\n"
-        "# within noise\n",
+        "# within noise. ns/op = 1000 / Mops (the hot-path codegen pass's\n"
+        "# per-op instruction-budget view, DESIGN.md §10)\n",
         static_cast<unsigned long long>(ops));
+    // Mops/s -> ns per operation; the reciprocal view the codegen pass
+    // budgets against (0 when the window was too small to time).
+    const auto ns_per_op = [](double mops) {
+        return mops > 0 ? 1000.0 / mops : 0.0;
+    };
     PhaseArgs args;
     args.seed = 42;
     args.value_range = ctx.env.value_range;
@@ -955,18 +961,26 @@ int micro(const ScenarioContext& ctx) {
         if (stat >= 0) {
             const double delta =
                 stat > 0 ? 100.0 * (erased - stat) / stat : 0.0;
-            std::printf("MICRO %-6s static=%8.2f erased=%8.2f Mops/s "
-                        "delta=%+.1f%%\n",
-                        a->name.c_str(), stat, erased, delta);
+            std::printf("MICRO %-6s static=%8.2f Mops/s (%7.1f ns/op) "
+                        "erased=%8.2f Mops/s (%7.1f ns/op) delta=%+.1f%%\n",
+                        a->name.c_str(), stat, ns_per_op(stat), erased,
+                        ns_per_op(erased), delta);
             std::printf("CSV,micro_ops,%s,static,%.4f\n", a->name.c_str(),
                         stat);
+            std::printf("CSV,micro_ops,%s,static_ns,%.4f\n", a->name.c_str(),
+                        ns_per_op(stat));
             ctx.csv_row("micro_ops", a->name, "static", stat);
+            ctx.csv_row("micro_ops", a->name, "static_ns", ns_per_op(stat));
         } else {
-            std::printf("MICRO %-6s static=%8s erased=%8.2f Mops/s\n",
-                        a->name.c_str(), "-", erased);
+            std::printf("MICRO %-6s static=%8s erased=%8.2f Mops/s "
+                        "(%7.1f ns/op)\n",
+                        a->name.c_str(), "-", erased, ns_per_op(erased));
         }
         std::printf("CSV,micro_ops,%s,erased,%.4f\n", a->name.c_str(), erased);
+        std::printf("CSV,micro_ops,%s,erased_ns,%.4f\n", a->name.c_str(),
+                    ns_per_op(erased));
         ctx.csv_row("micro_ops", a->name, "erased", erased);
+        ctx.csv_row("micro_ops", a->name, "erased_ns", ns_per_op(erased));
     }
     return 0;
 }
@@ -1015,7 +1029,8 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
              "(DESIGN.md §9)",
              knee});
     reg.add({"micro",
-             "static vs type-erased hot-loop parity + single-thread op cost",
+             "static vs type-erased hot-loop parity + single-thread op cost "
+             "(Mops + ns/op)",
              micro});
 }
 

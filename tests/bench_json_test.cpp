@@ -1,0 +1,233 @@
+// bench_json_test.cpp — BENCH_*.json snapshot persistence and the baseline
+// regression gate (workload/bench_json.hpp): write → parse round-trip,
+// median-of-N, and compare verdicts including the tolerance edges and the
+// scale normalization that makes cross-machine baselines workable.
+#include "workload/bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace sj = sec::bench::json;
+
+namespace {
+
+std::string temp_path(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+sj::Snapshot sample_snapshot() {
+    sj::Snapshot s;
+    s.meta.git_sha = "abcdef012345";
+    s.meta.compiler = "gcc 13.2.0";
+    // Escaping stress: quotes, backslash, newline, a control byte.
+    s.meta.flags = "-O3 \"quoted\" back\\slash\nline\x01end";
+    s.meta.build_type = "Release";
+    s.meta.march_native = true;
+    s.meta.cores = 8;
+    s.meta.scenarios = "fig2,micro";
+    s.meta.algos = "SEC,TRB";
+    s.meta.reclaim = "hp";
+    s.meta.smoke = true;
+    s.meta.threads = {2, 4};
+    s.meta.duration_ms = 25;
+    s.meta.runs = 1;
+    s.meta.repeats = 3;
+    s.meta.prefill = 1000;
+    s.meta.value_range = 1u << 20;
+    s.meta.seed = 42;
+    s.add("fig2_50-50", "2", "SEC", "Mops/s", 1.2345678901234567);
+    s.add("fig2_50-50", "2", "TRB", "Mops/s", 0.25);
+    s.add("micro_ops", "SEC", "static_ns", "", 81.25);
+    return s;
+}
+
+TEST(BenchJsonTest, WriteParseRoundTrip) {
+    const sj::Snapshot in = sample_snapshot();
+    const std::string path = temp_path("sec_bench_json_roundtrip.json");
+    std::string err;
+    ASSERT_TRUE(sj::write_snapshot(in, path, &err)) << err;
+
+    sj::Snapshot out;
+    ASSERT_TRUE(sj::read_snapshot(path, out, &err)) << err;
+    std::remove(path.c_str());
+
+    EXPECT_EQ(out.meta.git_sha, in.meta.git_sha);
+    EXPECT_EQ(out.meta.compiler, in.meta.compiler);
+    EXPECT_EQ(out.meta.flags, in.meta.flags);
+    EXPECT_EQ(out.meta.build_type, in.meta.build_type);
+    EXPECT_EQ(out.meta.march_native, in.meta.march_native);
+    EXPECT_EQ(out.meta.cores, in.meta.cores);
+    EXPECT_EQ(out.meta.scenarios, in.meta.scenarios);
+    EXPECT_EQ(out.meta.algos, in.meta.algos);
+    EXPECT_EQ(out.meta.reclaim, in.meta.reclaim);
+    EXPECT_EQ(out.meta.smoke, in.meta.smoke);
+    EXPECT_EQ(out.meta.threads, in.meta.threads);
+    EXPECT_EQ(out.meta.duration_ms, in.meta.duration_ms);
+    EXPECT_EQ(out.meta.runs, in.meta.runs);
+    EXPECT_EQ(out.meta.repeats, in.meta.repeats);
+    EXPECT_EQ(out.meta.prefill, in.meta.prefill);
+    EXPECT_EQ(out.meta.value_range, in.meta.value_range);
+    EXPECT_EQ(out.meta.seed, in.meta.seed);
+
+    ASSERT_EQ(out.cells.size(), in.cells.size());
+    for (std::size_t i = 0; i < in.cells.size(); ++i) {
+        EXPECT_EQ(out.cells[i].table, in.cells[i].table);
+        EXPECT_EQ(out.cells[i].key, in.cells[i].key);
+        EXPECT_EQ(out.cells[i].column, in.cells[i].column);
+        EXPECT_EQ(out.cells[i].unit, in.cells[i].unit);
+        // The writer emits the shortest decimal that parses back exactly.
+        EXPECT_EQ(out.cells[i].value, in.cells[i].value);
+    }
+}
+
+TEST(BenchJsonTest, ReadRejectsGarbageAndWrongSchema) {
+    const std::string path = temp_path("sec_bench_json_bad.json");
+    sj::Snapshot out;
+    std::string err;
+
+    EXPECT_FALSE(sj::read_snapshot(temp_path("sec_bench_json_absent.json"),
+                                   out, &err));
+    EXPECT_FALSE(err.empty());
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"schema\": \"something-else\", \"cells\": []}", f);
+    std::fclose(f);
+    EXPECT_FALSE(sj::read_snapshot(path, out, &err));
+    EXPECT_NE(err.find("schema"), std::string::npos) << err;
+
+    f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"schema\": \"sec-bench-snapshot-v1\", \"cells\": [", f);
+    std::fclose(f);
+    EXPECT_FALSE(sj::read_snapshot(path, out, &err));
+    std::remove(path.c_str());
+}
+
+TEST(BenchJsonTest, MedianOfCollapsesRepeatsPerCell) {
+    auto one = [](double a, double b) {
+        sj::Snapshot s;
+        s.add("t", "1", "A", "Mops/s", a);
+        s.add("t", "1", "B", "Mops/s", b);
+        return s;
+    };
+    // Odd count: plain middle. A run may also re-write a cell (last wins).
+    std::vector<sj::Snapshot> runs{one(1.0, 10.0), one(5.0, 30.0),
+                                   one(3.0, 20.0)};
+    runs[0].add("t", "1", "A", "Mops/s", 2.0);  // re-write: 1.0 -> 2.0
+    const sj::Snapshot med = sj::median_of(runs);
+    ASSERT_EQ(med.cells.size(), 2u);
+    EXPECT_DOUBLE_EQ(med.find("t", "1", "A")->value, 3.0);
+    EXPECT_DOUBLE_EQ(med.find("t", "1", "B")->value, 20.0);
+
+    // Even count: mean of the two middles; a cell missing from some runs
+    // medians over the runs that produced it.
+    std::vector<sj::Snapshot> two{one(1.0, 10.0), one(2.0, 20.0)};
+    two[0].add("x", "1", "C", "", 7.0);
+    const sj::Snapshot med2 = sj::median_of(two);
+    EXPECT_DOUBLE_EQ(med2.find("t", "1", "A")->value, 1.5);
+    EXPECT_DOUBLE_EQ(med2.find("x", "1", "C")->value, 7.0);
+}
+
+TEST(BenchJsonTest, GatedUnits) {
+    EXPECT_TRUE(sj::gated_unit("Mops/s"));
+    EXPECT_TRUE(sj::gated_unit("Kops/s"));
+    EXPECT_FALSE(sj::gated_unit("us"));
+    EXPECT_FALSE(sj::gated_unit(""));
+}
+
+// Five gated cells so the median scale stays pinned at 1.0 when one cell
+// moves: the compare must localize an injected regression.
+sj::Snapshot gated_five(double a, double b, double c, double d, double e) {
+    sj::Snapshot s;
+    s.add("tp", "2", "A", "Mops/s", a);
+    s.add("tp", "2", "B", "Mops/s", b);
+    s.add("tp", "2", "C", "Mops/s", c);
+    s.add("tp", "2", "D", "Mops/s", d);
+    s.add("tp", "2", "E", "Mops/s", e);
+    return s;
+}
+
+TEST(BenchJsonTest, CompareDetectsInjectedRegression) {
+    const sj::Snapshot base = gated_five(16, 16, 16, 16, 16);
+    const sj::Snapshot cur = gated_five(16, 16, 16, 16, 8);  // E: -50%
+    const sj::CompareResult r = sj::compare(base, cur, 25.0);
+    EXPECT_DOUBLE_EQ(r.scale, 1.0);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.regressions, 1u);
+    ASSERT_EQ(r.cells.size(), 5u);
+    EXPECT_FALSE(r.cells[0].regressed);
+    EXPECT_TRUE(r.cells[4].regressed);
+    EXPECT_DOUBLE_EQ(r.cells[4].raw_delta_pct, -50.0);
+}
+
+TEST(BenchJsonTest, CompareToleranceEdgeIsExclusive) {
+    const sj::Snapshot base = gated_five(16, 16, 16, 16, 16);
+    // 12/16 = exactly -25%: sitting ON the edge passes...
+    const sj::CompareResult at_edge =
+        sj::compare(base, gated_five(16, 16, 16, 16, 12), 25.0);
+    EXPECT_TRUE(at_edge.ok()) << at_edge.cells[4].norm_delta_pct;
+    // ...one step beyond it fails.
+    const sj::CompareResult beyond =
+        sj::compare(base, gated_five(16, 16, 16, 16, 11), 25.0);
+    EXPECT_FALSE(beyond.ok());
+    EXPECT_EQ(beyond.regressions, 1u);
+    // Zero tolerance: any strictly negative normalized delta regresses.
+    const sj::CompareResult zero_tol =
+        sj::compare(base, gated_five(16, 16, 16, 16, 15), 0.0);
+    EXPECT_FALSE(zero_tol.ok());
+}
+
+TEST(BenchJsonTest, CompareNormalizesGlobalHardwareShift) {
+    // Uniform 2x slowdown — a slower runner, not a regression: the median
+    // scale absorbs it entirely.
+    const sj::Snapshot base = gated_five(16, 32, 8, 16, 64);
+    const sj::Snapshot cur = gated_five(8, 16, 4, 8, 32);
+    const sj::CompareResult r = sj::compare(base, cur, 10.0);
+    EXPECT_DOUBLE_EQ(r.scale, 0.5);
+    EXPECT_TRUE(r.ok()) << r.regressions;
+    for (const sj::CellDelta& d : r.cells) {
+        EXPECT_DOUBLE_EQ(d.norm_delta_pct, 0.0);
+        EXPECT_DOUBLE_EQ(d.raw_delta_pct, -50.0);
+    }
+}
+
+TEST(BenchJsonTest, CompareMissingGatedCellRegressesAndExtraIsCounted) {
+    sj::Snapshot base = gated_five(16, 16, 16, 16, 16);
+    sj::Snapshot cur = gated_five(16, 16, 16, 16, 16);
+    cur.cells.pop_back();                      // E vanished
+    cur.add("tp", "2", "F", "Mops/s", 16.0);   // new current-only cell
+    const sj::CompareResult r = sj::compare(base, cur, 25.0);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.regressions, 1u);
+    EXPECT_TRUE(r.cells[4].missing);
+    EXPECT_EQ(r.extra, 1u);
+}
+
+TEST(BenchJsonTest, CompareNeverGatesUnitlessOrLatencyCells) {
+    sj::Snapshot base = gated_five(16, 16, 16, 16, 16);
+    base.add("lat", "2", "p99", "us", 10.0);
+    base.add("micro_ops", "SEC", "erased_ns", "", 80.0);
+    sj::Snapshot cur = gated_five(16, 16, 16, 16, 16);
+    cur.add("lat", "2", "p99", "us", 100.0);            // 10x worse latency
+    cur.add("micro_ops", "SEC", "erased_ns", "", 800.0);  // 10x worse ns/op
+    const sj::CompareResult r = sj::compare(base, cur, 25.0);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.cells[5].gated);
+    EXPECT_FALSE(r.cells[6].gated);
+    // Still reported, so the CI log shows the movement.
+    EXPECT_DOUBLE_EQ(r.cells[5].raw_delta_pct, 900.0);
+}
+
+TEST(BenchJsonTest, BuildMetadataCarriesCompileTimeFacts) {
+    const sj::Metadata m = sj::build_metadata();
+    EXPECT_FALSE(m.git_sha.empty());
+    EXPECT_FALSE(m.compiler.empty());
+    EXPECT_GT(m.cores, 0u);
+}
+
+}  // namespace
