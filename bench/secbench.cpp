@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/sharded_stack.hpp"
+#include "net/event_loop.hpp"
 #include "workload/bench_json.hpp"
 #include "workload/registry.hpp"
 #include "workload/service.hpp"
@@ -60,6 +61,13 @@ int usage(std::FILE* out) {
                  "probe)\n"
                  "  --arrival KIND     arrival process for 'service'/'knee': "
                  "poisson | burst\n"
+                 "  --port N           'net_service': target an already-"
+                 "running secserve on\n"
+                 "                     127.0.0.1:N instead of an in-process "
+                 "server\n"
+                 "  --backend NAME     sec::net event backend: epoll | "
+                 "iouring (iouring\n"
+                 "                     needs a -DSEC_IOURING=ON build)\n"
                  "  --scenario NAME    alias for the positional scenario "
                  "argument\n"
                  "  --json PATH        write a BENCH_*.json perf snapshot "
@@ -82,7 +90,7 @@ int usage(std::FILE* out) {
                  "  --paper            the paper's 5 s x 5-run methodology\n"
                  "environment: SEC_BENCH_DURATION_MS / _RUNS / _THREADS / "
                  "_PREFILL / _VALUE_RANGE / _SEED / _RECLAIM / _SHARDS / "
-                 "_LOAD / _ARRIVAL / _PAPER\n");
+                 "_LOAD / _ARRIVAL / _PORT / _BACKEND / _PAPER\n");
     return out == stderr ? 2 : 0;
 }
 
@@ -100,6 +108,18 @@ int list_registries() {
     for (const sb::ReclaimerSpec* r : sb::ReclaimerRegistry::instance().all()) {
         std::printf("  %-18s %s\n", r->name.c_str(), r->description.c_str());
     }
+    std::printf("net backends (--backend / SEC_BENCH_BACKEND):\n");
+    for (const sec::net::BackendInfo& b : sec::net::backend_infos()) {
+        std::printf("  %-18s %.*s%s\n", std::string(b.name).c_str(),
+                    static_cast<int>(b.description.size()),
+                    b.description.data(),
+                    b.available ? "" : " [not in this build]");
+    }
+    std::printf(
+        "net env: SEC_BENCH_PORT (net_service/secserve target port; 0 or\n"
+        "unset = in-process server on an ephemeral port), SEC_BENCH_BACKEND\n"
+        "(event backend name, whole-value-or-nothing like every other "
+        "knob)\n");
     return 0;
 }
 
@@ -146,6 +166,8 @@ int main(int argc, char** argv) {
     unsigned shards = 0;
     double load_kops = 0;
     const char* arrival = nullptr;
+    long long port = -1;  // -1 = not given (0 is a valid "in-process" value)
+    const char* backend = nullptr;
     bool smoke = false;
     bool run_all = false;
 
@@ -247,6 +269,30 @@ int main(int argc, char** argv) {
                              value);
                 return 2;
             }
+        } else if (std::strcmp(arg, "--port") == 0) {
+            // Strict like --shards: a typo must not silently swing between
+            // remote and in-process measurement.
+            const char* value = next_value(i, arg);
+            char* end = nullptr;
+            const long long parsed = std::strtoll(value, &end, 10);
+            if (end == value || *end != '\0' || parsed < 0 ||
+                parsed > 65535) {
+                std::fprintf(stderr,
+                             "secbench: --port '%s' must be an integer in "
+                             "[0, 65535]\n",
+                             value);
+                return 2;
+            }
+            port = parsed;
+        } else if (std::strcmp(arg, "--backend") == 0) {
+            backend = next_value(i, arg);
+            if (!sec::net::backend_known(backend)) {
+                std::fprintf(stderr,
+                             "secbench: --backend '%s' must be epoll or "
+                             "iouring\n",
+                             backend);
+                return 2;
+            }
         } else if (std::strcmp(arg, "--arrival") == 0) {
             arrival = next_value(i, arg);
             if (!sb::parse_arrival(arrival)) {
@@ -335,6 +381,10 @@ int main(int argc, char** argv) {
         }
     }
     if (arrival != nullptr) ctx.arrival = arrival;
+    // SEC_BENCH_PORT / SEC_BENCH_BACKEND already sit in ctx.env (strict
+    // parsing with loud warnings in EnvConfig::load); flags override.
+    if (port >= 0) ctx.env.port = static_cast<unsigned>(port);
+    if (backend != nullptr) ctx.env.backend = backend;
     if (smoke) {
         // Tiny budget: every scenario exercised, nothing measured seriously.
         ctx.env.duration_ms = 25;

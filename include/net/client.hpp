@@ -1,0 +1,62 @@
+// net/client.hpp — the loopback client driver (DESIGN.md §11): replays the
+// open-loop arrival schedules of workload/service.hpp over N real TCP
+// connections against a SecServer (in-process or a separate secserve).
+//
+// Accounting contract, identical to the in-process service lanes: every
+// request's identity is its schedule index (echoed by the server in the
+// frame tag), and a reply is charged completion minus *scheduled* arrival
+// (sojourn) — a reply delayed behind a backed-up connection is billed its
+// full queueing delay even if the sender fell behind its own schedule. RTT
+// (reply minus actual send) is recorded side by side as the closed-loop
+// contrast, exactly like the sojourn/service histogram pair.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "workload/histogram.hpp"
+#include "workload/service.hpp"
+
+namespace sec::net {
+
+struct LoopbackClientConfig {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    unsigned connections = 2;
+    // Offered load across ALL connections, Kops/s (the --load unit).
+    double load_kops = 20.0;
+    std::chrono::milliseconds duration{200};
+    bench::ArrivalKind arrival = bench::ArrivalKind::kPoisson;
+    std::chrono::milliseconds burst_period{10};
+    double burst_duty = 0.25;
+    unsigned push_pct = 50;  // % of requests that are pushes (rest pops)
+    std::uint64_t seed = 0;
+    // How long after the last send to wait for outstanding replies before
+    // declaring them lost.
+    std::chrono::milliseconds drain_grace{5000};
+};
+
+struct LoopbackClientResult {
+    bool ok = false;          // false: setup failed, see `error`
+    std::string error;
+    std::uint64_t sent = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t lost = 0;   // sent - replies once the grace expired
+    std::uint64_t pushes = 0;
+    std::uint64_t pop_hits = 0;
+    std::uint64_t pop_empties = 0;
+    double offered_kops = 0;  // from the generated schedules
+    double achieved_kops = 0; // replies / window
+    double window_s = 0;      // epoch -> last reply
+    bench::LatencyHistogram sojourn;  // reply - scheduled arrival
+    bench::LatencyHistogram rtt;      // reply - actual send
+};
+
+// Connect cfg.connections sockets, replay one arrival schedule per
+// connection (sender thread paces, receiver thread charges replies), and
+// merge the per-connection histograms. Blocking; returns when every reply
+// arrived or the drain grace expired.
+LoopbackClientResult run_loopback_client(const LoopbackClientConfig& cfg);
+
+}  // namespace sec::net

@@ -1,0 +1,87 @@
+// net/event_loop.hpp — the portable event-backend abstraction behind the
+// sec::net server (DESIGN.md §11).
+//
+// The server's contract with a backend is deliberately batch-shaped: wait()
+// returns a BATCH of ready file descriptors, and the server drains every
+// decoded request of that batch into the stack before the next wait. That
+// mirrors the paper's aggregator design one layer up — epoll amortizes the
+// kernel crossing over many ready sockets exactly as the SEC aggregator
+// amortizes the spine CAS over many queued operations — so a readiness (or
+// io_uring completion) batch maps naturally onto an aggregator batch.
+//
+// Backends:
+//   epoll    level-triggered epoll(7); always built, no dependencies.
+//   iouring  batched-submission io_uring poll ring (raw syscalls, no
+//            liburing); built only under -DSEC_IOURING=ON. One
+//            io_uring_enter submits every re-arm of the batch and reaps the
+//            next completion batch — submission batching on top of
+//            completion batching.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sec::net {
+
+// One ready descriptor of a wait() batch. `error` covers hangup and error
+// conditions; the server treats it as "read until EOF, then drop".
+struct IoEvent {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+};
+
+class EventBackend {
+public:
+    virtual ~EventBackend() = default;
+
+    // Register `fd` for readiness notification. want_write adds write
+    // interest on top of the always-on read interest.
+    virtual bool add(int fd, bool want_write, std::string* err) = 0;
+    // Change the write-interest of an already-added fd.
+    virtual bool modify(int fd, bool want_write) = 0;
+    virtual void remove(int fd) = 0;
+
+    // Block up to timeout_ms for the next readiness batch; returns the
+    // number of events written to out[0, cap), 0 on timeout, -1 on a
+    // non-retryable backend failure.
+    virtual int wait(IoEvent* out, std::size_t cap, int timeout_ms) = 0;
+
+    virtual std::string_view name() const noexcept = 0;
+};
+
+// A backend the CLI / environment can name, whether or not this build
+// carries it — `available == false` means the name is valid but needs a
+// different configure (-DSEC_IOURING=ON).
+struct BackendInfo {
+    std::string_view name;
+    std::string_view description;
+    bool available = false;
+};
+
+// Every nameable backend, in preference order (epoll first).
+std::vector<BackendInfo> backend_infos();
+
+// Name validity (strict env/CLI parsing) vs. availability in this build.
+bool backend_known(std::string_view name) noexcept;
+bool backend_available(std::string_view name) noexcept;
+
+// Construct a backend by name ("" = "epoll"). Returns nullptr with a
+// one-line reason in *err for unknown names, unavailable builds, or a
+// failed runtime setup (e.g. io_uring_setup rejected by the kernel).
+std::unique_ptr<EventBackend> make_event_backend(std::string_view name,
+                                                 std::string* err);
+
+namespace detail {
+// Defined in src/net_epoll.cpp / src/net_iouring.cpp.
+std::unique_ptr<EventBackend> make_epoll_backend(std::string* err);
+#if defined(SEC_IOURING)
+std::unique_ptr<EventBackend> make_iouring_backend(std::string* err);
+#endif
+}  // namespace detail
+
+}  // namespace sec::net

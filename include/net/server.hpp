@@ -1,0 +1,108 @@
+// net/server.hpp — SecServer, the socket front-end that turns a
+// registry-built stack into a servable system (DESIGN.md §11).
+//
+// One event-loop thread owns every socket and the stack handle. Each
+// EventBackend::wait() batch is drained completely — every readable
+// connection read to EAGAIN, every complete frame decoded and applied to
+// the stack, every response appended to the connection's write buffer —
+// before the next wait. The readiness batch therefore becomes the unit of
+// work exactly the way an aggregator batch is in the paper: the kernel
+// crossing (epoll_wait / io_uring_enter) is amortized over every request
+// it surfaced, and responses flush as one writev-sized burst per
+// connection per batch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stack_concept.hpp"
+#include "net/event_loop.hpp"
+#include "net/protocol.hpp"
+
+namespace sec::net {
+
+struct ServerConfig {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
+    std::string backend{};   // "" = "epoll"; see make_event_backend
+};
+
+// Event-loop-thread counters, readable from any thread while the server
+// runs (relaxed atomics — monotonic counters, no ordering contract).
+struct ServerStats {
+    std::uint64_t accepted = 0;   // connections accepted over the lifetime
+    std::uint64_t requests = 0;   // frames decoded and applied
+    std::uint64_t pushes = 0;     // kPushReq handled
+    std::uint64_t pops = 0;       // kPopReq handled, value returned
+    std::uint64_t empties = 0;    // kPopReq handled, stack empty
+    std::uint64_t batches = 0;    // wait() batches that carried work
+    std::uint64_t max_batch = 0;  // most requests drained in one batch
+};
+
+class SecServer {
+public:
+    // Takes ownership of the stack; every request of every connection is
+    // applied to it from the single event-loop thread.
+    SecServer(AnyStack stack, ServerConfig cfg);
+    ~SecServer();
+
+    SecServer(const SecServer&) = delete;
+    SecServer& operator=(const SecServer&) = delete;
+
+    // Bind + listen + spawn the loop thread. False (with a one-line reason)
+    // on bad backend names, bind failures, or backend setup failures.
+    bool start(std::string* err);
+    // Graceful shutdown: wake the loop, drain nothing further, close every
+    // socket, join. Idempotent.
+    void stop();
+
+    // The bound port (resolves an ephemeral request); valid after start().
+    std::uint16_t port() const noexcept { return bound_port_; }
+    std::string_view backend_name() const noexcept;
+
+    ServerStats stats() const;
+
+private:
+    struct Conn {
+        std::vector<std::uint8_t> in;
+        std::vector<std::uint8_t> out;
+        std::size_t out_off = 0;     // bytes of `out` already written
+        bool want_write = false;     // registered with write interest
+    };
+
+    void loop();
+    void accept_ready();
+    // Returns false when the connection must be closed (EOF / error /
+    // protocol violation).
+    bool conn_readable(int fd, Conn& conn, std::uint64_t& batch_requests);
+    bool flush(int fd, Conn& conn);
+    void apply(const Message& req, Conn& conn);
+    void close_conn(int fd);
+
+    AnyStack stack_;
+    ServerConfig cfg_;
+    std::unique_ptr<EventBackend> backend_;
+    int listen_fd_ = -1;
+    int wake_fd_ = -1;  // eventfd: stop() pokes the blocked wait()
+    std::uint16_t bound_port_ = 0;
+    std::unordered_map<int, Conn> conns_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_{false};
+
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> pushes_{0};
+    std::atomic<std::uint64_t> pops_{0};
+    std::atomic<std::uint64_t> empties_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> max_batch_{0};
+};
+
+}  // namespace sec::net

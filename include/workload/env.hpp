@@ -9,14 +9,22 @@
 //   SEC_BENCH_PREFILL      nodes pushed before the window opens
 //   SEC_BENCH_VALUE_RANGE  value universe for pushes
 //   SEC_BENCH_SEED         base seed for per-worker op-mix RNGs (repro runs)
+//   SEC_BENCH_PORT         sec::net TCP port (net_service / secserve);
+//                          0 or unset = in-process server on an ephemeral
+//                          port
+//   SEC_BENCH_BACKEND      sec::net event backend: "epoll" (default) or
+//                          "iouring" (-DSEC_IOURING=ON builds)
 //
 // Values that don't parse as clean unsigned integers (trailing junk, signs,
 // "abc") are rejected with a stderr warning and the default kept — never
-// silently read as 0 or a truncated prefix.
+// silently read as 0 or a truncated prefix. The same whole-value-or-nothing
+// policy covers SEC_BENCH_BACKEND: an unknown backend name warns and keeps
+// the default instead of silently measuring a different event loop.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -29,6 +37,10 @@ struct EnvConfig {
     std::size_t prefill = 1000;  // the paper's prefill
     std::size_t value_range = std::size_t{1} << 20;
     std::uint64_t seed = 0;  // base for per-worker RNG seeds (0 = legacy)
+    // sec::net knobs (SEC_BENCH_PORT / SEC_BENCH_BACKEND). port 0 = "no
+    // external server": net_service spawns its own on an ephemeral port.
+    unsigned port = 0;
+    std::string backend{};  // "" = the default backend ("epoll")
 
     static EnvConfig load();
 };

@@ -97,9 +97,19 @@ struct KneeResult {
     unsigned probes = 0;          // service windows spent searching
 };
 
-// Probe-progress hook for scenario logging: (offered Kops/s, sojourn p99
-// ns, sustainable?). Pass nullptr for silence.
-using KneeProbeHook = std::function<void(double, double, bool)>;
+// One probe of the knee search, in search order. The hook receives every
+// probe as it completes, so a scenario can persist the whole binary-search
+// trace (doubling phase + bisections), not just the final knee.
+struct KneeProbe {
+    unsigned index = 0;        // 0-based position in the search
+    double offered_kops = 0;   // the load this probe offered
+    double achieved_kops = 0;  // what the window actually completed
+    double p99_ns = 0;         // sojourn p99 of the probe window
+    bool sustainable = false;  // under the limit, nothing lost
+};
+
+// Probe-progress hook for scenario logging. Pass nullptr for silence.
+using KneeProbeHook = std::function<void(const KneeProbe&)>;
 
 // Exponential doubling from start_kops until the sojourn p99 exceeds
 // p99_limit_ns (or max_kops), then `refine_steps` bisections between the

@@ -1,0 +1,279 @@
+// net_client.cpp — the loopback client driver (net/client.hpp).
+//
+// Per connection: one sender thread pacing a deterministic arrival
+// schedule (workload/service.hpp; lane seed phase_seed(seed, lane, 0, 4) —
+// salt 4 keeps the wire lanes' streams disjoint from the in-process
+// service lanes' salt 3) and one receiver thread charging replies. The
+// sender stamps every frame's tag with the request's schedule index; the
+// receiver resolves the tag back to the scheduled arrival (sojourn) and to
+// the atomically-published actual send time (RTT). All cross-thread state —
+// send timestamps, per-lane counters — is atomic, so the driver is clean
+// under TSan (tests/net_loopback_test.cpp runs under it in CI).
+#include "net/client.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/common.hpp"
+#include "net/protocol.hpp"
+#include "workload/runner.hpp"
+
+namespace sec::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int connect_to(const std::string& host, std::uint16_t port,
+               std::string* err) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        *err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        *err = "bad host '" + host + "'";
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        *err = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Bound receiver reads so the drain-grace deadline is checked even when
+    // the server goes silent.
+    timeval tv{};
+    tv.tv_usec = 50 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return fd;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+// State shared between one connection's sender and receiver.
+struct Lane {
+    int fd = -1;
+    std::vector<std::uint64_t> schedule;  // ns offsets from epoch
+    std::vector<MsgType> kinds;           // kPushReq / kPopReq per index
+    // Actual send time (ns since epoch), published by the sender, read by
+    // the receiver for the RTT histogram. 0 = not sent yet.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> send_ns;
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<bool> sender_done{false};
+    std::atomic<std::uint64_t> sender_done_ns{0};  // since epoch
+
+    // Receiver-owned results (read by the main thread after join).
+    std::uint64_t replies = 0;
+    std::uint64_t pop_hits = 0;
+    std::uint64_t pop_empties = 0;
+    std::uint64_t last_reply_ns = 0;  // since epoch
+    bench::LatencyHistogram sojourn;
+    bench::LatencyHistogram rtt;
+};
+
+std::uint64_t since(Clock::time_point epoch) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             epoch)
+            .count());
+}
+
+void sender_main(Lane& lane, Clock::time_point epoch) {
+    std::vector<std::uint8_t> frame;
+    for (std::size_t i = 0; i < lane.schedule.size(); ++i) {
+        std::this_thread::sleep_until(
+            epoch + std::chrono::nanoseconds(lane.schedule[i]));
+        Message req;
+        req.type = lane.kinds[i];
+        req.tag = i;
+        req.value = i + 1;  // nonzero payload; identity lives in the tag
+        frame.clear();
+        encode(req, frame);
+        lane.send_ns[i].store(since(epoch), std::memory_order_release);
+        if (!write_all(lane.fd, frame.data(), frame.size())) break;
+        lane.sent.fetch_add(1, std::memory_order_release);
+    }
+    lane.sender_done_ns.store(since(epoch), std::memory_order_release);
+    lane.sender_done.store(true, std::memory_order_release);
+}
+
+void receiver_main(Lane& lane, Clock::time_point epoch,
+                   std::chrono::milliseconds grace) {
+    std::vector<std::uint8_t> buf;
+    std::uint8_t chunk[16 * 1024];
+    const std::uint64_t grace_ns =
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(grace)
+                .count());
+    for (;;) {
+        const std::uint64_t sent = lane.sent.load(std::memory_order_acquire);
+        const bool done = lane.sender_done.load(std::memory_order_acquire);
+        if (done && lane.replies >= sent) break;  // every reply charged
+        if (done) {
+            const std::uint64_t done_ns =
+                lane.sender_done_ns.load(std::memory_order_acquire);
+            if (since(epoch) > done_ns + grace_ns) break;  // lost replies
+        }
+        const ssize_t n = ::read(lane.fd, chunk, sizeof(chunk));
+        if (n == 0) break;  // server closed
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+                continue;  // SO_RCVTIMEO tick: re-check the deadline
+            }
+            break;
+        }
+        buf.insert(buf.end(), chunk, chunk + n);
+        std::size_t off = 0;
+        while (off < buf.size()) {
+            Message resp;
+            const DecodeResult r =
+                decode(buf.data() + off, buf.size() - off, resp);
+            if (r.status == DecodeStatus::kNeedMore) break;
+            if (r.status == DecodeStatus::kError) return;  // desync: bail
+            off += r.consumed;
+            const std::uint64_t now_ns = since(epoch);
+            const std::uint64_t idx = resp.tag;
+            if (idx >= lane.schedule.size()) continue;  // unknown tag
+            ++lane.replies;
+            lane.last_reply_ns = now_ns;
+            const std::uint64_t sched = lane.schedule[idx];
+            lane.sojourn.record(now_ns > sched ? now_ns - sched : 0);
+            const std::uint64_t sent_at =
+                lane.send_ns[idx].load(std::memory_order_acquire);
+            lane.rtt.record(now_ns > sent_at ? now_ns - sent_at : 0);
+            if (resp.type == MsgType::kPopResp) {
+                if (resp.ok) {
+                    ++lane.pop_hits;
+                } else {
+                    ++lane.pop_empties;
+                }
+            }
+        }
+        if (off > 0) buf.erase(buf.begin(), buf.begin() + off);
+    }
+}
+
+}  // namespace
+
+LoopbackClientResult run_loopback_client(const LoopbackClientConfig& cfg) {
+    LoopbackClientResult res;
+    if (cfg.connections == 0) {
+        res.error = "connections must be >= 1";
+        return res;
+    }
+    if (cfg.port == 0) {
+        res.error = "port must be set";
+        return res;
+    }
+
+    // Schedules reuse the service harness's generator verbatim, so the wire
+    // path offers the same arrival process the in-process lanes measure.
+    bench::ServiceConfig svc;
+    svc.load_kops = cfg.load_kops;
+    svc.duration = cfg.duration;
+    svc.arrival = cfg.arrival;
+    svc.burst_period = cfg.burst_period;
+    svc.burst_duty = cfg.burst_duty;
+    svc.seed = cfg.seed;
+    const double lane_ops_s =
+        cfg.load_kops * 1000.0 / static_cast<double>(cfg.connections);
+
+    std::vector<std::unique_ptr<Lane>> lanes;
+    for (unsigned c = 0; c < cfg.connections; ++c) {
+        auto lane = std::make_unique<Lane>();
+        lane->fd = connect_to(cfg.host, cfg.port, &res.error);
+        if (lane->fd < 0) {
+            for (auto& l : lanes) ::close(l->fd);
+            return res;
+        }
+        lane->schedule = bench::make_arrival_schedule(
+            svc, lane_ops_s, bench::phase_seed(cfg.seed, c, 0, 4));
+        lane->kinds.reserve(lane->schedule.size());
+        Xoshiro256 rng(bench::phase_seed(cfg.seed, c, 0, 5));
+        for (std::size_t i = 0; i < lane->schedule.size(); ++i) {
+            const bool push = rng.next_below(100) < cfg.push_pct;
+            lane->kinds.push_back(push ? MsgType::kPushReq
+                                       : MsgType::kPopReq);
+            if (push) ++res.pushes;
+        }
+        lane->send_ns = std::make_unique<std::atomic<std::uint64_t>[]>(
+            lane->schedule.size());
+        for (std::size_t i = 0; i < lane->schedule.size(); ++i) {
+            lane->send_ns[i].store(0, std::memory_order_relaxed);
+        }
+        res.sent += lane->schedule.size();
+        lanes.push_back(std::move(lane));
+    }
+
+    // One epoch for every lane, taken after all sockets are connected so no
+    // lane starts its schedule while another is still in connect().
+    const Clock::time_point epoch = Clock::now() + std::chrono::milliseconds(5);
+
+    std::vector<std::thread> threads;
+    threads.reserve(lanes.size() * 2);
+    for (auto& lane : lanes) {
+        threads.emplace_back([&lane, epoch] { sender_main(*lane, epoch); });
+        threads.emplace_back([&lane, epoch, grace = cfg.drain_grace] {
+            receiver_main(*lane, epoch, grace);
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    std::uint64_t last_reply_ns = 0;
+    for (auto& lane : lanes) {
+        res.replies += lane->replies;
+        res.pop_hits += lane->pop_hits;
+        res.pop_empties += lane->pop_empties;
+        res.sojourn.merge_from(lane->sojourn);
+        res.rtt.merge_from(lane->rtt);
+        if (lane->last_reply_ns > last_reply_ns) {
+            last_reply_ns = lane->last_reply_ns;
+        }
+        ::close(lane->fd);
+    }
+    // A send that failed mid-write still counts as lost: it was scheduled.
+    res.lost = res.sent - res.replies;
+    res.window_s = static_cast<double>(last_reply_ns) / 1e9;
+    const double horizon_s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            cfg.duration)
+            .count();
+    res.offered_kops = horizon_s > 0
+                           ? static_cast<double>(res.sent) / horizon_s / 1000.0
+                           : 0.0;
+    res.achieved_kops =
+        res.window_s > 0
+            ? static_cast<double>(res.replies) / res.window_s / 1000.0
+            : 0.0;
+    res.ok = true;
+    return res;
+}
+
+}  // namespace sec::net

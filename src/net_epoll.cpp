@@ -1,0 +1,142 @@
+// net_epoll.cpp — the always-built epoll(7) event backend plus the backend
+// name registry (net/event_loop.hpp). Level-triggered on purpose: the
+// server drains a ready socket to EAGAIN inside the batch anyway, and
+// level-triggering keeps the "re-notify until drained" invariant without
+// edge-trigger resubscription subtleties.
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include "net/event_loop.hpp"
+
+namespace sec::net {
+namespace {
+
+class EpollBackend final : public EventBackend {
+public:
+    explicit EpollBackend(int epfd) : epfd_(epfd) {}
+    ~EpollBackend() override { ::close(epfd_); }
+
+    bool add(int fd, bool want_write, std::string* err) override {
+        epoll_event ev{};
+        ev.events = interest(want_write);
+        ev.data.fd = fd;
+        if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            if (err != nullptr) {
+                *err = std::string("epoll_ctl(ADD): ") + std::strerror(errno);
+            }
+            return false;
+        }
+        return true;
+    }
+
+    bool modify(int fd, bool want_write) override {
+        epoll_event ev{};
+        ev.events = interest(want_write);
+        ev.data.fd = fd;
+        return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+    }
+
+    void remove(int fd) override {
+        ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    }
+
+    int wait(IoEvent* out, std::size_t cap, int timeout_ms) override {
+        if (cap == 0) return 0;
+        epoll_event evs[kBatchCap];
+        const int want = static_cast<int>(cap < kBatchCap ? cap : kBatchCap);
+        int n;
+        do {
+            n = ::epoll_wait(epfd_, evs, want, timeout_ms);
+        } while (n < 0 && errno == EINTR);
+        if (n < 0) return -1;
+        for (int i = 0; i < n; ++i) {
+            out[i].fd = evs[i].data.fd;
+            out[i].readable = (evs[i].events & EPOLLIN) != 0;
+            out[i].writable = (evs[i].events & EPOLLOUT) != 0;
+            out[i].error = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+        }
+        return n;
+    }
+
+    std::string_view name() const noexcept override { return "epoll"; }
+
+private:
+    static constexpr std::size_t kBatchCap = 128;
+
+    static std::uint32_t interest(bool want_write) noexcept {
+        return EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    }
+
+    int epfd_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<EventBackend> make_epoll_backend(std::string* err) {
+    const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd < 0) {
+        if (err != nullptr) {
+            *err = std::string("epoll_create1: ") + std::strerror(errno);
+        }
+        return nullptr;
+    }
+    return std::make_unique<EpollBackend>(epfd);
+}
+
+}  // namespace detail
+
+std::vector<BackendInfo> backend_infos() {
+    return {
+        {"epoll", "level-triggered readiness batches (always built)", true},
+        {"iouring",
+         "batched-submission io_uring poll ring (-DSEC_IOURING=ON)",
+#if defined(SEC_IOURING)
+         true},
+#else
+         false},
+#endif
+    };
+}
+
+bool backend_known(std::string_view name) noexcept {
+    return name == "epoll" || name == "iouring";
+}
+
+bool backend_available(std::string_view name) noexcept {
+#if defined(SEC_IOURING)
+    return backend_known(name);
+#else
+    return name == "epoll";
+#endif
+}
+
+std::unique_ptr<EventBackend> make_event_backend(std::string_view name,
+                                                 std::string* err) {
+    if (name.empty() || name == "epoll") {
+        return detail::make_epoll_backend(err);
+    }
+    if (name == "iouring") {
+#if defined(SEC_IOURING)
+        return detail::make_iouring_backend(err);
+#else
+        if (err != nullptr) {
+            *err = "backend 'iouring' is not built; configure with "
+                   "-DSEC_IOURING=ON";
+        }
+        return nullptr;
+#endif
+    }
+    if (err != nullptr) {
+        *err = "unknown event backend '" + std::string(name) +
+               "' (epoll, iouring)";
+    }
+    return nullptr;
+}
+
+}  // namespace sec::net

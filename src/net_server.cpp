@@ -1,0 +1,306 @@
+// net_server.cpp — SecServer implementation (net/server.hpp).
+//
+// Single-threaded event loop over an EventBackend. Batch discipline: every
+// wait() batch is fully drained — accept to EAGAIN, read each ready
+// connection to EAGAIN, decode every complete frame, apply it to the stack,
+// buffer the response — then each touched connection is flushed once. The
+// per-op AnyStack virtuals are fine here: a request already paid a syscall
+// and a frame decode, so one virtual call is noise, and the interesting
+// batching (kernel crossings amortized over the readiness batch) lives a
+// layer below.
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace sec::net {
+namespace {
+
+constexpr std::size_t kEventCap = 128;
+constexpr std::size_t kReadChunk = 16 * 1024;
+// A connection whose decoded-but-unflushed output exceeds this is falling
+// behind pathologically (the protocol is request/response with tiny
+// frames); drop it rather than buffer without bound.
+constexpr std::size_t kMaxOutBuffer = 4 * 1024 * 1024;
+
+bool set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+SecServer::SecServer(AnyStack stack, ServerConfig cfg)
+    : stack_(std::move(stack)), cfg_(std::move(cfg)) {}
+
+SecServer::~SecServer() { stop(); }
+
+std::string_view SecServer::backend_name() const noexcept {
+    return backend_ ? backend_->name() : std::string_view{};
+}
+
+ServerStats SecServer::stats() const {
+    ServerStats s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.pushes = pushes_.load(std::memory_order_relaxed);
+    s.pops = pops_.load(std::memory_order_relaxed);
+    s.empties = empties_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.max_batch = max_batch_.load(std::memory_order_relaxed);
+    return s;
+}
+
+bool SecServer::start(std::string* err) {
+    if (running_.load(std::memory_order_acquire)) return true;
+    auto fail = [&](const std::string& what) {
+        if (err != nullptr) *err = what;
+        if (listen_fd_ >= 0) ::close(listen_fd_);
+        if (wake_fd_ >= 0) ::close(wake_fd_);
+        listen_fd_ = wake_fd_ = -1;
+        backend_.reset();
+        return false;
+    };
+
+    backend_ = make_event_backend(cfg_.backend, err);
+    if (!backend_) return false;  // err already carries the reason
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+        return fail(std::string("socket: ") + std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+        return fail("bad listen address '" + cfg_.host + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        return fail(std::string("bind: ") + std::strerror(errno));
+    }
+    if (::listen(listen_fd_, 128) != 0) {
+        return fail(std::string("listen: ") + std::strerror(errno));
+    }
+    if (!set_nonblocking(listen_fd_)) {
+        return fail(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &blen) != 0) {
+        return fail(std::string("getsockname: ") + std::strerror(errno));
+    }
+    bound_port_ = ntohs(bound.sin_port);
+
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+        return fail(std::string("eventfd: ") + std::strerror(errno));
+    }
+
+    std::string backend_err;
+    if (!backend_->add(listen_fd_, false, &backend_err) ||
+        !backend_->add(wake_fd_, false, &backend_err)) {
+        return fail("backend add: " + backend_err);
+    }
+
+    stop_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { loop(); });
+    return true;
+}
+
+void SecServer::stop() {
+    if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+    stop_.store(true, std::memory_order_release);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+    if (thread_.joinable()) thread_.join();
+    for (auto& [fd, conn] : conns_) ::close(fd);
+    conns_.clear();
+    ::close(listen_fd_);
+    ::close(wake_fd_);
+    listen_fd_ = wake_fd_ = -1;
+    backend_.reset();
+}
+
+void SecServer::loop() {
+    IoEvent events[kEventCap];
+    while (!stop_.load(std::memory_order_acquire)) {
+        const int n = backend_->wait(events, kEventCap, 200);
+        if (n < 0) break;  // non-retryable backend failure
+        std::uint64_t batch_requests = 0;
+        for (int i = 0; i < n; ++i) {
+            const IoEvent& ev = events[i];
+            if (ev.fd == listen_fd_) {
+                accept_ready();
+                continue;
+            }
+            if (ev.fd == wake_fd_) {
+                std::uint64_t drain = 0;
+                [[maybe_unused]] const auto r =
+                    ::read(wake_fd_, &drain, sizeof(drain));
+                continue;
+            }
+            const auto it = conns_.find(ev.fd);
+            if (it == conns_.end()) continue;  // closed earlier this batch
+            Conn& conn = it->second;
+            bool alive = !ev.error;
+            if (alive && ev.readable) {
+                alive = conn_readable(ev.fd, conn, batch_requests);
+            }
+            if (alive && (ev.writable || conn.out.size() > conn.out_off)) {
+                alive = flush(ev.fd, conn);
+            }
+            if (!alive) close_conn(ev.fd);
+        }
+        if (batch_requests > 0) {
+            batches_.fetch_add(1, std::memory_order_relaxed);
+            requests_.fetch_add(batch_requests, std::memory_order_relaxed);
+            if (batch_requests >
+                max_batch_.load(std::memory_order_relaxed)) {
+                max_batch_.store(batch_requests, std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+void SecServer::accept_ready() {
+    for (;;) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return;  // EAGAIN (drained) or a transient accept error
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::string err;
+        if (!backend_->add(fd, false, &err)) {
+            ::close(fd);
+            continue;
+        }
+        conns_.emplace(fd, Conn{});
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+bool SecServer::conn_readable(int fd, Conn& conn,
+                              std::uint64_t& batch_requests) {
+    // Drain the socket to EAGAIN — level-triggered backends would re-notify
+    // anyway, but draining keeps the whole readiness batch's requests inside
+    // this aggregation window.
+    for (;;) {
+        const std::size_t old = conn.in.size();
+        conn.in.resize(old + kReadChunk);
+        const ssize_t n = ::read(fd, conn.in.data() + old, kReadChunk);
+        if (n > 0) {
+            conn.in.resize(old + static_cast<std::size_t>(n));
+            continue;
+        }
+        conn.in.resize(old);
+        if (n == 0) return false;  // EOF
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return false;
+    }
+
+    // Decode and apply every complete frame.
+    std::size_t off = 0;
+    while (off < conn.in.size()) {
+        Message req;
+        const DecodeResult r =
+            decode(conn.in.data() + off, conn.in.size() - off, req);
+        if (r.status == DecodeStatus::kNeedMore) break;
+        if (r.status == DecodeStatus::kError) return false;
+        off += r.consumed;
+        apply(req, conn);
+        ++batch_requests;
+    }
+    if (off > 0) conn.in.erase(conn.in.begin(), conn.in.begin() + off);
+    return conn.out.size() - conn.out_off <= kMaxOutBuffer;
+}
+
+void SecServer::apply(const Message& req, Conn& conn) {
+    Message resp;
+    resp.tag = req.tag;
+    switch (req.type) {
+        case MsgType::kPushReq: {
+            resp.type = MsgType::kPushResp;
+            resp.ok = stack_.push(req.value);
+            pushes_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        case MsgType::kPopReq: {
+            resp.type = MsgType::kPopResp;
+            const auto v = stack_.pop();
+            resp.ok = v.has_value();
+            resp.value = v.value_or(0);
+            if (resp.ok) {
+                pops_.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                empties_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+        }
+        case MsgType::kStatsReq: {
+            resp.type = MsgType::kStatsResp;
+            resp.stats.pushes = pushes_.load(std::memory_order_relaxed);
+            resp.stats.pops = pops_.load(std::memory_order_relaxed);
+            resp.stats.empties = empties_.load(std::memory_order_relaxed);
+            resp.stats.batches = batches_.load(std::memory_order_relaxed);
+            break;
+        }
+        default:
+            // A well-formed frame of a response type: meaningless as a
+            // request, but not a framing violation. Ignore it.
+            return;
+    }
+    encode(resp, conn.out);
+}
+
+bool SecServer::flush(int fd, Conn& conn) {
+    while (conn.out_off < conn.out.size()) {
+        const ssize_t n = ::write(fd, conn.out.data() + conn.out_off,
+                                  conn.out.size() - conn.out_off);
+        if (n > 0) {
+            conn.out_off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!conn.want_write) {
+                conn.want_write = true;
+                backend_->modify(fd, true);
+            }
+            return true;  // keep the connection; retry on writability
+        }
+        return false;
+    }
+    conn.out.clear();
+    conn.out_off = 0;
+    if (conn.want_write) {
+        conn.want_write = false;
+        backend_->modify(fd, false);
+    }
+    return true;
+}
+
+void SecServer::close_conn(int fd) {
+    backend_->remove(fd);
+    ::close(fd);
+    conns_.erase(fd);
+}
+
+}  // namespace sec::net

@@ -14,6 +14,8 @@
 
 #include "core/elim_pool.hpp"
 #include "core/sharded_stack.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "reclaim/reclaim.hpp"
 #include "sec.hpp"
 #include "workload/any_runner.hpp"
@@ -866,14 +868,28 @@ int knee(const ScenarioContext& ctx) {
                 service_config(ctx, t, kc.start_kops, *arrival);
             StackParams params;
             params.threads = scfg.producers + scfg.consumers;
+            // Every probe of the binary search lands in the CSV sink as a
+            // knee_trace row (key = algo@tN#probe), so the doubling phase
+            // and the bisections can be re-plotted from the file alone.
             const KneeResult kr = find_service_knee(
                 [&] { return a->make(params); }, scfg, kc,
-                [&](double kops, double p99, bool ok) {
+                [&](const KneeProbe& p) {
                     std::fprintf(stderr,
-                                 "  %-10s t=%-4u probe %9.2f Kops/s p99=%9.2f "
-                                 "ms %s\n",
-                                 a->name.c_str(), t, kops, p99 / 1e6,
-                                 ok ? "ok" : "KNEE");
+                                 "  %-10s t=%-4u probe#%-2u %9.2f Kops/s "
+                                 "achieved=%9.2f p99=%9.2f ms %s\n",
+                                 a->name.c_str(), t, p.index, p.offered_kops,
+                                 p.achieved_kops, p.p99_ns / 1e6,
+                                 p.sustainable ? "ok" : "KNEE");
+                    const std::string pkey = a->name + "@t" +
+                                             std::to_string(t) + "#" +
+                                             std::to_string(p.index);
+                    ctx.csv_row("knee_trace", pkey, "offered_kops",
+                                p.offered_kops);
+                    ctx.csv_row("knee_trace", pkey, "achieved_kops",
+                                p.achieved_kops);
+                    ctx.csv_row("knee_trace", pkey, "p99_ns", p.p99_ns);
+                    ctx.csv_row("knee_trace", pkey, "sustainable",
+                                p.sustainable ? 1.0 : 0.0);
                 });
             std::printf(
                 "KNEE %-10s t=%-4u sustainable=%9.2f Kops/s p99=%9.2f ms "
@@ -892,6 +908,129 @@ int knee(const ScenarioContext& ctx) {
     }
     ctx.emit(table);
     return 0;
+}
+
+// ---- net_service: the open-loop harness over real sockets (DESIGN.md §11) --
+
+// The service scenario's accounting, but with the stack behind sec::net: a
+// SecServer per algorithm (event loop draining readiness batches into the
+// structure) and the loopback client replaying the same Poisson/bursty
+// schedules over N real TCP connections. Grid value = connections. With
+// --port / SEC_BENCH_PORT set, the client targets an already-running
+// secserve instead (a second process; single column "remote" because the
+// remote process, not the local selection, fixes the algorithm). Exits
+// nonzero when any scheduled request lost its reply — CI's net-smoke job
+// leans on that.
+int net_service(const ScenarioContext& ctx) {
+    const auto arrival = scenario_arrival(ctx);
+    if (!arrival) return 2;
+    const double load =
+        ctx.load_kops > 0 ? ctx.load_kops : (ctx.smoke ? 2.0 : 20.0);
+    const bool remote = ctx.env.port != 0;
+
+    std::printf(
+        "# open-loop service over loopback TCP at %.1f Kops/s offered load, "
+        "%s arrivals;\n"
+        "# sojourn = reply - SCHEDULED arrival (CO-free), rtt = reply - "
+        "send; grid value = connections\n",
+        load, std::string(arrival_name(*arrival)).c_str());
+    if (remote) {
+        std::printf("# remote server at 127.0.0.1:%u (algorithm fixed by "
+                    "that process)\n",
+                    ctx.env.port);
+    }
+
+    const std::vector<std::string> cols =
+        remote ? std::vector<std::string>{"remote"} : ctx.columns();
+    Table kops_table("net_service_kops", cols, "Kops/s");
+    Table p99_table("net_service_p99_us", cols, "us");
+    int rc = 0;
+    for (unsigned t : ctx.env.threads) {
+        const unsigned series = remote ? 1u : static_cast<unsigned>(
+                                                  ctx.algos.size());
+        for (unsigned s = 0; s < series; ++s) {
+            const AlgoSpec* a = remote ? nullptr : ctx.algos[s];
+            const std::string column = remote ? "remote" : a->name;
+
+            std::optional<net::SecServer> server;
+            std::uint16_t port = static_cast<std::uint16_t>(ctx.env.port);
+            if (!remote) {
+                StackParams params;
+                params.threads = 2;  // the event loop is the only stack user
+                net::ServerConfig scfg;
+                scfg.backend = ctx.env.backend;
+                server.emplace(a->make(params), scfg);
+                std::string err;
+                if (!server->start(&err)) {
+                    std::fprintf(stderr, "secbench: net_service: %s\n",
+                                 err.c_str());
+                    return 2;
+                }
+                port = server->port();
+            }
+
+            net::LoopbackClientConfig ccfg;
+            ccfg.port = port;
+            ccfg.connections = t;
+            ccfg.load_kops = load;
+            ccfg.duration = std::chrono::milliseconds(ctx.env.duration_ms);
+            ccfg.arrival = *arrival;
+            ccfg.seed = ctx.env.seed;
+            const net::LoopbackClientResult r = run_loopback_client(ccfg);
+            if (!r.ok) {
+                std::fprintf(stderr, "secbench: net_service: %s\n",
+                             r.error.c_str());
+                return 2;
+            }
+            if (server) server->stop();
+
+            const double p50_us = r.sojourn.quantile_ns(0.50) / 1000.0;
+            const double p99_us = r.sojourn.quantile_ns(0.99) / 1000.0;
+            const double p999_us = r.sojourn.quantile_ns(0.999) / 1000.0;
+            const double rtt_p99_us = r.rtt.quantile_ns(0.99) / 1000.0;
+            std::printf(
+                "NET %-10s conns=%-3u offered=%8.2f achieved=%8.2f Kops/s "
+                "replies=%llu/%llu lost=%llu sojourn p50=%9.1fus "
+                "p99=%9.1fus p999=%9.1fus | rtt p99=%9.1fus\n",
+                column.c_str(), t, r.offered_kops, r.achieved_kops,
+                static_cast<unsigned long long>(r.replies),
+                static_cast<unsigned long long>(r.sent),
+                static_cast<unsigned long long>(r.lost), p50_us, p99_us,
+                p999_us, rtt_p99_us);
+            if (r.lost > 0) {
+                std::fprintf(stderr,
+                             "secbench: net_service: %llu replies LOST "
+                             "(%s, conns=%u)\n",
+                             static_cast<unsigned long long>(r.lost),
+                             column.c_str(), t);
+                rc = 1;
+            }
+            kops_table.add(t, column, r.achieved_kops);
+            p99_table.add(t, column, p99_us);
+            const std::string key = column + "@c" + std::to_string(t);
+            ctx.csv_row("net_service", key, "offered_kops", r.offered_kops);
+            ctx.csv_row("net_service", key, "achieved_kops",
+                        r.achieved_kops);
+            ctx.csv_row("net_service", key, "replies",
+                        static_cast<double>(r.replies));
+            ctx.csv_row("net_service", key, "lost",
+                        static_cast<double>(r.lost));
+            ctx.csv_row("net_service", key, "sojourn_p50_us", p50_us);
+            ctx.csv_row("net_service", key, "sojourn_p99_us", p99_us);
+            ctx.csv_row("net_service", key, "sojourn_p999_us", p999_us);
+            ctx.csv_row("net_service", key, "rtt_p99_us", rtt_p99_us);
+            if (server) {
+                const net::ServerStats st = server->stats();
+                ctx.csv_row("net_service", key, "server_batches",
+                            static_cast<double>(st.batches));
+                ctx.csv_row("net_service", key, "server_max_batch",
+                            static_cast<double>(st.max_batch));
+            }
+        }
+    }
+    ctx.emit(kops_table);
+    ctx.emit(p99_table);
+    return rc;
 }
 
 // ---- micro: static vs type-erased hot-loop parity + per-op cost ------------
@@ -1028,6 +1167,10 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
              "max sustainable offered load before the sojourn p99 explodes "
              "(DESIGN.md §9)",
              knee});
+    reg.add({"net_service",
+             "open-loop service over loopback TCP via sec::net "
+             "(DESIGN.md §11)",
+             net_service});
     reg.add({"micro",
              "static vs type-erased hot-loop parity + single-thread op cost "
              "(Mops + ns/op)",

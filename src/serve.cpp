@@ -181,14 +181,22 @@ KneeResult find_service_knee(const AnyStackFactory& make, ServiceConfig cfg,
     auto probe = [&](double kops) {
         cfg.load_kops = kops;
         const ServiceResult r = run_service_any(make, cfg);
-        ++result.probes;
         const double p99 =
             static_cast<double>(r.sojourn.quantile_ns(0.99));
         // A lane that produced nothing (or a buffer that failed to drain)
         // is not a sustainable operating point, whatever its p99 says.
         const bool ok = r.produced > 0 && r.completed == r.produced &&
                         p99 <= static_cast<double>(knee.p99_limit_ns);
-        if (on_probe) on_probe(kops, p99, ok);
+        if (on_probe) {
+            KneeProbe p;
+            p.index = result.probes;
+            p.offered_kops = kops;
+            p.achieved_kops = r.achieved_kops;
+            p.p99_ns = p99;
+            p.sustainable = ok;
+            on_probe(p);
+        }
+        ++result.probes;
         return std::pair<bool, double>{ok, p99};
     };
 

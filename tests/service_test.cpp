@@ -162,9 +162,11 @@ TEST(KneeFinder, ReachesTheCapWhenNothingExplodes) {
     unsigned hook_calls = 0;
     const sb::KneeResult r = sb::find_service_knee(
         factory_for("TRB", 2), cfg, knee,
-        [&](double, double, bool ok) {
+        [&](const sb::KneeProbe& p) {
+            EXPECT_EQ(p.index, hook_calls);  // probes arrive in order
             ++hook_calls;
-            EXPECT_TRUE(ok);
+            EXPECT_TRUE(p.sustainable);
+            EXPECT_GT(p.achieved_kops, 0.0);
         });
     EXPECT_DOUBLE_EQ(r.sustainable_kops, 8.0);
     EXPECT_EQ(r.probes, 3u);  // 2, 4, 8
@@ -208,9 +210,9 @@ TEST(KneeFinder, BisectsBetweenTheLastGoodAndFirstBadLoad) {
     std::vector<double> probed;
     std::vector<bool> verdicts;
     const sb::KneeResult r = sb::find_service_knee(
-        factory_for("TRB", 2), cfg, knee, [&](double kops, double, bool ok) {
-            probed.push_back(kops);
-            verdicts.push_back(ok);
+        factory_for("TRB", 2), cfg, knee, [&](const sb::KneeProbe& p) {
+            probed.push_back(p.offered_kops);
+            verdicts.push_back(p.sustainable);
         });
     const std::vector<double> expected = {4.0, 8.0, 6.0};
     EXPECT_EQ(probed, expected);
