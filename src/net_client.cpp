@@ -66,7 +66,9 @@ int connect_to(const std::string& host, std::uint16_t port,
 
 bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
     while (len > 0) {
-        const ssize_t n = ::write(fd, data, len);
+        // MSG_NOSIGNAL: a server-side drop mid-run must read as a failed
+        // send (lost replies in the result), not SIGPIPE for the process.
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
             return false;
@@ -133,8 +135,13 @@ void receiver_main(Lane& lane, Clock::time_point epoch,
             std::chrono::duration_cast<std::chrono::nanoseconds>(grace)
                 .count());
     for (;;) {
-        const std::uint64_t sent = lane.sent.load(std::memory_order_acquire);
+        // done is loaded BEFORE sent: the sender publishes its final sent
+        // count before setting done, so done=true (acquire) guarantees the
+        // subsequent sent load sees the final count. The reverse order could
+        // pair a stale sent with done=true and under-count outstanding
+        // replies, mis-reporting them as lost.
         const bool done = lane.sender_done.load(std::memory_order_acquire);
+        const std::uint64_t sent = lane.sent.load(std::memory_order_acquire);
         if (done && lane.replies >= sent) break;  // every reply charged
         if (done) {
             const std::uint64_t done_ns =

@@ -112,17 +112,26 @@ public:
             }
         }
         // A oneshot timeout SQE bounds the enter; its own completion wakes
-        // us with zero events (the epoll_wait timeout contract).
-        timeout_ts_.tv_sec = timeout_ms / 1000;
-        timeout_ts_.tv_nsec =
-            static_cast<long long>(timeout_ms % 1000) * 1'000'000;
-        io_uring_sqe* sqe = next_sqe();
-        if (sqe == nullptr) return -1;
-        sqe->opcode = IORING_OP_TIMEOUT;
-        sqe->fd = -1;
-        sqe->addr = reinterpret_cast<std::uint64_t>(&timeout_ts_);
-        sqe->len = 1;
-        sqe->user_data = kTimeoutToken;
+        // us with zero events (the epoll_wait timeout contract). At most one
+        // is ever in flight: a wait() that returned early on poll
+        // completions leaves the old timeout armed and reuses it rather
+        // than stacking a fresh one per call — stale timeouts would
+        // otherwise accumulate and their completions could overflow the CQ.
+        // The previous arm is at most timeout_ms old, so the stop-flag
+        // check bound still holds.
+        if (!timeout_armed_) {
+            timeout_ts_.tv_sec = timeout_ms / 1000;
+            timeout_ts_.tv_nsec =
+                static_cast<long long>(timeout_ms % 1000) * 1'000'000;
+            io_uring_sqe* sqe = next_sqe();
+            if (sqe == nullptr) return -1;
+            sqe->opcode = IORING_OP_TIMEOUT;
+            sqe->fd = -1;
+            sqe->addr = reinterpret_cast<std::uint64_t>(&timeout_ts_);
+            sqe->len = 1;
+            sqe->user_data = kTimeoutToken;
+            timeout_armed_ = true;
+        }
 
         int rc;
         do {
@@ -182,6 +191,8 @@ private:
         cq_tail_ = reinterpret_cast<std::atomic<std::uint32_t>*>(
             cq + p.cq_off.tail);
         cq_mask_ = *reinterpret_cast<std::uint32_t*>(cq + p.cq_off.ring_mask);
+        cq_overflow_ = reinterpret_cast<std::atomic<std::uint32_t>*>(
+            cq + p.cq_off.overflow);
         cqes_ptr_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
         return true;
     }
@@ -230,14 +241,25 @@ private:
     }
 
     int reap(IoEvent* out, std::size_t cap) {
+        // A dropped completion is unrecoverable for a oneshot-poll design:
+        // the fd whose POLL_ADD completion was lost stays unarmed forever
+        // and its connection stalls. Fail loudly instead (the server loop
+        // exits on a negative wait()).
+        if (cq_overflow_ != nullptr &&
+            cq_overflow_->load(std::memory_order_relaxed) != 0) {
+            return -1;
+        }
         int n = 0;
         std::uint32_t head = cq_head_->load(std::memory_order_relaxed);
         const std::uint32_t tail = cq_tail_->load(std::memory_order_acquire);
         while (head != tail && static_cast<std::size_t>(n) < cap) {
             const io_uring_cqe& cqe = cqes_ptr_[head & cq_mask_];
             ++head;
-            if (cqe.user_data == kTimeoutToken ||
-                cqe.user_data == kCancelToken) {
+            if (cqe.user_data == kTimeoutToken) {
+                timeout_armed_ = false;  // fired; re-arm on the next wait()
+                continue;
+            }
+            if (cqe.user_data == kCancelToken) {
                 continue;  // ring plumbing, not an fd event
             }
             const int fd = static_cast<int>(cqe.user_data);
@@ -271,9 +293,13 @@ private:
     std::atomic<std::uint32_t>* cq_head_ = nullptr;
     std::atomic<std::uint32_t>* cq_tail_ = nullptr;
     std::uint32_t cq_mask_ = 0;
+    std::atomic<std::uint32_t>* cq_overflow_ = nullptr;
     io_uring_cqe* cqes_ptr_ = nullptr;
     // Local (unpublished) SQ tail: SQEs queued since the last flush_sq().
     std::uint32_t pending_tail_ = 0;
+    // True while a oneshot IORING_OP_TIMEOUT is in flight; cleared when its
+    // completion is reaped. Keeps exactly one timeout armed at a time.
+    bool timeout_armed_ = false;
     __kernel_timespec timeout_ts_{};
     std::unordered_map<int, Interest> interest_;
 };

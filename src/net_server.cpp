@@ -272,8 +272,10 @@ void SecServer::apply(const Message& req, Conn& conn) {
 
 bool SecServer::flush(int fd, Conn& conn) {
     while (conn.out_off < conn.out.size()) {
-        const ssize_t n = ::write(fd, conn.out.data() + conn.out_off,
-                                  conn.out.size() - conn.out_off);
+        // MSG_NOSIGNAL: a peer that reset its connection must surface as
+        // EPIPE on this fd (normal close path), not SIGPIPE for the process.
+        const ssize_t n = ::send(fd, conn.out.data() + conn.out_off,
+                                 conn.out.size() - conn.out_off, MSG_NOSIGNAL);
         if (n > 0) {
             conn.out_off += static_cast<std::size_t>(n);
             continue;
@@ -281,12 +283,15 @@ bool SecServer::flush(int fd, Conn& conn) {
         if (n < 0 && errno == EINTR) continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
             if (!conn.want_write) {
+                // No write interest registered means buffered replies would
+                // only ever flush piggybacked on a read event; if the
+                // registration fails, drop the connection instead.
+                if (!backend_->modify(fd, true)) return false;
                 conn.want_write = true;
-                backend_->modify(fd, true);
             }
             return true;  // keep the connection; retry on writability
         }
-        return false;
+        return false;  // EPIPE/ECONNRESET and friends: close the connection
     }
     conn.out.clear();
     conn.out_off = 0;
