@@ -101,8 +101,10 @@ int list_registries() {
     }
     std::printf("algorithms:\n");
     for (const sb::AlgoSpec* a : sb::AlgorithmRegistry::instance().all()) {
-        std::printf("  %-18s %s%s\n", a->name.c_str(), a->description.c_str(),
-                     a->default_set ? "" : " [extra]");
+        const std::string_view shape = sec::shape_name(a->shape);
+        std::printf("  %-18s %-9s %s%s\n", a->name.c_str(),
+                    std::string(shape).c_str(), a->description.c_str(),
+                    a->default_set ? "" : " [extra]");
     }
     std::printf("reclaimers (--reclaim):\n");
     for (const sb::ReclaimerSpec* r : sb::ReclaimerRegistry::instance().all()) {
@@ -510,6 +512,34 @@ int main(int argc, char** argv) {
         }
         ctx.algos = std::move(mapped);
         ctx.reclaim = reclaim_scheme;
+    }
+
+    // A shape-mixed selection benchmarks apples against oranges — a LIFO
+    // and a FIFO structure do different work per operation — so refuse it
+    // loudly instead of printing a table that invites the comparison.
+    // `unordered` (POOL) composes with either shape: dropping order is the
+    // documented point of the ablation_pool comparison. Checked after the
+    // --reclaim rebinding so the FINAL selection is what is judged.
+    {
+        std::string lifo_names, fifo_names;
+        for (const sb::AlgoSpec* spec : ctx.algos) {
+            std::string* bucket =
+                spec->shape == sec::ContainerShape::lifo   ? &lifo_names
+                : spec->shape == sec::ContainerShape::fifo ? &fifo_names
+                                                           : nullptr;
+            if (bucket == nullptr) continue;
+            if (!bucket->empty()) *bucket += ',';
+            *bucket += spec->name;
+        }
+        if (!lifo_names.empty() && !fifo_names.empty()) {
+            std::fprintf(stderr,
+                         "secbench: --algos mixes shapes within one scenario "
+                         "run: lifo {%s} vs fifo {%s}. A cross-shape table "
+                         "is apples against oranges — pick one shape per "
+                         "invocation (see `secbench --list`)\n",
+                         lifo_names.c_str(), fifo_names.c_str());
+            return 2;
+        }
     }
 
     std::FILE* csv = nullptr;

@@ -323,8 +323,11 @@ private:
         const std::size_t batch = np + nq;
         if (batch == 0) return;
 
-        // Freeze: the snapshot is the batch. Eliminate push/pop pairs.
-        const std::size_t pairs = std::min(np, nq);
+        // Freeze: the snapshot is the batch. Eliminate push/pop pairs —
+        // unless the owning container is FIFO-shaped, where pairing a pop
+        // with a concurrent push is not linearizable (Config::eliminate).
+        const std::size_t pairs =
+            cfg_.eliminate ? std::min(np, nq) : std::size_t{0};
         for (std::size_t i = 0; i < pairs; ++i) {
             Slot& ps = slots_[agg.scratch_push[i]];
             Slot& qs = slots_[agg.scratch_pop[i]];

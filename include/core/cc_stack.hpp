@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/container_concept.hpp"
 #include "core/seq_stack.hpp"
 
 namespace sec {
@@ -20,6 +21,7 @@ template <class V>
 class CcStack {
 public:
     using value_type = V;
+    static constexpr ContainerShape kShape = ContainerShape::lifo;
 
     explicit CcStack(std::size_t /*max_threads*/) {
         auto* initial = new CcNode();
@@ -43,6 +45,10 @@ public:
     std::optional<V> pop() { return request(detail::SeqOp::kPop, V{}); }
 
     std::optional<V> peek() { return request(detail::SeqOp::kPeek, V{}); }
+
+    // Shape-neutral aliases (container_concept.hpp).
+    bool put(const V& v) { return push(v); }
+    std::optional<V> take() { return pop(); }
 
 private:
     static constexpr std::uint32_t kWaiting = 0;

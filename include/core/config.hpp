@@ -65,6 +65,14 @@ struct Config {
     //   paper: Table 1 metrics. Required (and forced on) for SEC@adaptive —
     //   the counters are the controller's feedback signal.
     bool collect_stats = false;
+    // When true (the paper's stack semantics), the freezer matches
+    // concurrent push/pop pairs and exchanges their values directly, so
+    // eliminated pairs never touch the central structure. Elimination is
+    // only legal for LIFO: handing a dequeuer a *concurrent* enqueue's value
+    // would skip every older element in a FIFO, so SecQueue constructs its
+    // aggregators with this forced false — batching and single-CAS combining
+    // are shape-agnostic, elimination is not (DESIGN.md §12).
+    bool eliminate = true;
     // Optional runtime tuning overrides (non-owning; the pointee must
     // outlive every structure built from this Config). When set, the hot
     // path reads {active aggregators, freezer backoff} from it with one

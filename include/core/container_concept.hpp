@@ -1,0 +1,73 @@
+// core/container_concept.hpp — the shape-parameterized ConcurrentContainer
+// concept every structure in this library models.
+//
+// PR 2 introduced a stack-only `ConcurrentStack` concept; nothing in the
+// harness (phase templates, registry factories, reclaim templating, the
+// sharding façade, the net front-end) actually depends on LIFO order — only
+// on "insert a value" / "remove some value" / "observe without removing".
+// This header names that contract once:
+//
+//   * `put` / `take` are the canonical shape-neutral operations. `push` /
+//     `pop` remain REQUIRED thin aliases — they are the operational spelling
+//     the whole harness uses (runner phase loops, AnyStack, SecServer), and
+//     queues additionally expose `enqueue`/`dequeue` for idiomatic call
+//     sites. All spellings must hit the same code path.
+//   * `kShape` is a compile-time trait naming the removal order the
+//     container guarantees; the conformance harness
+//     (tests/container_conformance_test.cpp) derives its order-checking
+//     oracle from it, secbench prints it in `--list` and refuses to
+//     benchmark a shape-mixed `--algos` set within one scenario.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sec {
+
+enum class ContainerShape : std::uint8_t {
+    lifo = 0,       // take() returns the newest element (stack order)
+    fifo = 1,       // take() returns the oldest element (queue order)
+    unordered = 2,  // take() returns *some* element (ElimPool: order is
+                    // deliberately dropped to buy throughput)
+};
+
+constexpr std::string_view shape_name(ContainerShape s) noexcept {
+    switch (s) {
+        case ContainerShape::lifo: return "lifo";
+        case ContainerShape::fifo: return "fifo";
+        default: return "unordered";
+    }
+}
+
+// What a container must provide to participate in the library: a value
+// type, a removal-order trait, put/push (false only on resource
+// exhaustion), and optional-returning take/pop/peek (nullopt == EMPTY; for
+// FIFO shapes peek observes the element take() would return, i.e. the
+// front). ElimPool rides along via an adapter whose peek always returns
+// nullopt.
+template <class C>
+concept ConcurrentContainer =
+    requires(C c, const typename C::value_type v) {
+        typename C::value_type;
+        { C::kShape } -> std::convertible_to<ContainerShape>;
+        { c.put(v) } -> std::convertible_to<bool>;
+        { c.take() } -> std::same_as<std::optional<typename C::value_type>>;
+        { c.push(v) } -> std::convertible_to<bool>;
+        { c.pop() } -> std::same_as<std::optional<typename C::value_type>>;
+        { c.peek() } -> std::same_as<std::optional<typename C::value_type>>;
+    };
+
+// Shape refinements, for interfaces that genuinely require one removal
+// order (none of the harness does; tests use these to assert a type landed
+// in the matrix it claims).
+template <class C>
+concept ConcurrentStackLike =
+    ConcurrentContainer<C> && (C::kShape == ContainerShape::lifo);
+
+template <class C>
+concept ConcurrentQueueLike =
+    ConcurrentContainer<C> && (C::kShape == ContainerShape::fifo);
+
+}  // namespace sec

@@ -15,6 +15,7 @@
 #include <type_traits>
 
 #include "core/common.hpp"
+#include "core/container_concept.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/reclaimer.hpp"
 
@@ -27,6 +28,7 @@ class EbStack {
 
 public:
     using value_type = V;
+    static constexpr ContainerShape kShape = ContainerShape::lifo;
     using reclaimer_type = R;
 
     explicit EbStack(std::size_t max_threads)
@@ -97,6 +99,10 @@ public:
     // Reclamation hooks the workload runner drives (see runner.hpp).
     void quiesce() { domain_->quiesce(); }
     void reclaim_offline() { domain_->offline(); }
+
+    // Shape-neutral aliases (container_concept.hpp).
+    bool put(const V& v) { return push(v); }
+    std::optional<V> take() { return pop(); }
 
 private:
     struct Node {

@@ -1,0 +1,56 @@
+// core/fc_queue.hpp — the flat-combining FIFO queue: the FlatCombiner
+// protocol of core/fc_stack.hpp applied to a sequential ring-of-deque
+// backend. The single-combiner baseline of the `queue` scenario, mirroring
+// FcStack's role in the stack matrix (and SNIPPETS.md Snippet 3's
+// flat_combining_queue.h): every request serialises through one lock, so it
+// wins at low thread counts and flattens once the combiner saturates —
+// exactly the envelope SecQueue's K concurrent aggregators are built to
+// beat.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "core/container_concept.hpp"
+#include "core/fc_stack.hpp"
+#include "core/seq_stack.hpp"
+
+namespace sec {
+
+namespace detail {
+
+// The sequential queue a combiner applies requests against: kPop removes
+// the OLDEST element, kPeek observes it.
+template <class V>
+class SeqQueue {
+public:
+    // Pop/peek return the value (nullopt: empty); push returns nullopt.
+    std::optional<V> apply(SeqOp op, const V& v) {
+        switch (op) {
+            case SeqOp::kPush:
+                items_.push_back(v);
+                return std::nullopt;
+            case SeqOp::kPop: {
+                if (items_.empty()) return std::nullopt;
+                V out = items_.front();
+                items_.pop_front();
+                return out;
+            }
+            default: {  // kPeek
+                if (items_.empty()) return std::nullopt;
+                return items_.front();
+            }
+        }
+    }
+
+private:
+    std::deque<V> items_;
+};
+
+}  // namespace detail
+
+template <class V>
+using FcQueue =
+    detail::FlatCombiner<V, detail::SeqQueue<V>, ContainerShape::fifo>;
+
+}  // namespace sec

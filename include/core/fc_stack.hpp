@@ -1,8 +1,15 @@
 // core/fc_stack.hpp — flat combining (Hendler, Incze, Shavit, Tchiboukdjian,
 // SPAA'10): threads publish requests in per-thread slots; whoever wins the
-// combiner lock applies every pending request against a sequential stack.
+// combiner lock applies every pending request against a sequential backend.
 // One of the two combining baselines of Figure 2 ("FC/CC flatten early":
 // the single combiner serialises all work).
+//
+// The combiner protocol is shape-agnostic — only the sequential backend
+// decides whether apply(kPop) removes the newest or the oldest element — so
+// the protocol lives in detail::FlatCombiner, parameterized on the backend
+// and the shape trait it implements. FcStack (here, over detail::SeqStack)
+// and FcQueue (core/fc_queue.hpp, over detail::SeqQueue) are instantiations
+// of one protocol and cannot diverge.
 #pragma once
 
 #include <algorithm>
@@ -11,31 +18,41 @@
 #include <optional>
 
 #include "core/common.hpp"
+#include "core/container_concept.hpp"
 #include "core/seq_stack.hpp"
 
 namespace sec {
 
-template <class V>
-class FcStack {
+namespace detail {
+
+// `Seq` must provide `std::optional<V> apply(SeqOp, const V&)` under the
+// combiner lock; `Shape` names the removal order that backend implements.
+template <class V, class Seq, ContainerShape Shape>
+class FlatCombiner {
 public:
     using value_type = V;
+    static constexpr ContainerShape kShape = Shape;
 
-    explicit FcStack(std::size_t max_threads)
+    explicit FlatCombiner(std::size_t max_threads)
         : max_threads_(std::min(std::max<std::size_t>(max_threads, 1),
                                 kMaxThreads)),
           slots_(std::make_unique<Slot[]>(max_threads_)) {}
 
-    FcStack(const FcStack&) = delete;
-    FcStack& operator=(const FcStack&) = delete;
+    FlatCombiner(const FlatCombiner&) = delete;
+    FlatCombiner& operator=(const FlatCombiner&) = delete;
 
-    bool push(const V& v) {
+    bool put(const V& v) {
         request(kPush, v);
         return true;
     }
 
-    std::optional<V> pop() { return request(kPop, V{}); }
+    std::optional<V> take() { return request(kPop, V{}); }
 
     std::optional<V> peek() { return request(kPeek, V{}); }
+
+    // Harness aliases (container_concept.hpp).
+    bool push(const V& v) { return put(v); }
+    std::optional<V> pop() { return take(); }
 
 private:
     // Slot states double as opcodes; kDone* are terminal until the owner
@@ -122,7 +139,13 @@ private:
     std::size_t max_threads_;
     std::unique_ptr<Slot[]> slots_;
     alignas(kCacheLineSize) std::atomic<std::uint32_t> lock_{0};
-    detail::SeqStack<V> seq_;  // guarded by lock_
+    Seq seq_;  // guarded by lock_
 };
+
+}  // namespace detail
+
+template <class V>
+using FcStack =
+    detail::FlatCombiner<V, detail::SeqStack<V>, ContainerShape::lifo>;
 
 }  // namespace sec

@@ -1,0 +1,172 @@
+// core/fifo_spine.hpp — the lock-free FIFO spine shared by SecQueue and
+// (structurally) mirrored by MsQueue: a dummy-headed linked list with
+// batched single-atomic chain enqueue and batched single-CAS multi-dequeue
+// with reclaimer retirement. The queue-shaped sibling of core/spine.hpp.
+//
+// Enqueue publication (fifo_put_chain) is ONE unconditional exchange on the
+// tail no matter how many values the batch carries: the producer links its
+// values into a private chain first..last, swings `tail` to `last` with an
+// exchange, then stores `prev->next = first`. The exchange totally orders
+// batches; the trailing next-store is the only cross-batch link write and
+// has exactly one writer per node, so enqueues never retry — this is what
+// makes the combining engine's "n operations, one atomic on the hot line"
+// property shape-agnostic (DESIGN.md §12).
+//
+// The window between the exchange and the next-store means a dequeuer can
+// observe `head->next == nullptr` while the exchange of an in-flight
+// enqueue has already landed. fifo_take_chain surfaces that as EMPTY: the
+// dequeue linearizes before the enqueue's final link, which is a legal
+// order because the enqueue has not returned yet. The window is a few
+// instructions wide and closes without any other thread's help.
+//
+// Reclamation mirrors spine.hpp: take/peek need a live reclaimer Guard.
+// Blanket guards (EBR/QSBR/leaky) compile to the plain walk; hazard guards
+// announce the anchor dummy in slot 0 and each walker node in slot 1,
+// revalidating the anchor after every announcement — as long as `head`
+// still equals the protected dummy no node of the chain behind it can have
+// been detached, and queue nodes are never re-linked after a detach, so the
+// walked prefix is intact. Values are copied DURING the protected walk:
+// after the head CAS the batch's last walked node becomes the new dummy and
+// may be retired by a later dequeuer, so reading it after the CAS would be
+// a use-after-retire under hazard pointers.
+//
+// The enqueue side needs no guard under any reclaimer: the only shared node
+// it dereferences is the exchange's `prev`, and `prev` cannot have been
+// retired — a node is retired only once `head` has moved PAST it, which
+// requires its `next` to be non-null, and `prev->next` stays null until
+// this very store (each node has exactly one next-writer).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+
+#include "core/common.hpp"
+
+namespace sec::detail {
+
+template <class V>
+struct QueueNode {
+    V value;
+    std::atomic<QueueNode*> next{nullptr};
+};
+
+// Allocate the initial dummy and point head and tail at it. The dummy's
+// value is never observed.
+template <class V>
+void fifo_init(std::atomic<QueueNode<V>*>& head,
+               std::atomic<QueueNode<V>*>& tail) {
+    QueueNode<V>* dummy = new QueueNode<V>{};
+    head.store(dummy, std::memory_order_relaxed);
+    tail.store(dummy, std::memory_order_relaxed);
+}
+
+// Append vals[0..n) behind the current tail with a single exchange.
+// vals[0] is dequeued first; within a batch the operations are concurrent,
+// so any internal order is linearizable.
+template <class V>
+void fifo_put_chain(std::atomic<QueueNode<V>*>& tail, const V* vals,
+                    std::size_t n) {
+    QueueNode<V>* first = nullptr;
+    QueueNode<V>* last = nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+        QueueNode<V>* node = new QueueNode<V>{vals[i]};
+        if (first == nullptr) {
+            first = node;
+        } else {
+            last->next.store(node, std::memory_order_relaxed);
+        }
+        last = node;
+    }
+    // At most K aggregator freezers (plus overflow threads) touch `tail`,
+    // and the exchange never fails — no retry loop at all.
+    QueueNode<V>* prev = tail.exchange(last, std::memory_order_acq_rel);
+    prev->next.store(first, std::memory_order_release);
+}
+
+// Detach up to n values from the head with a single CAS; returns how many
+// were dequeued. `guard` must be a live Guard of the domain the spine's
+// nodes retire into; slots 0 (anchor dummy) and 1 (walker) of a hazard
+// guard are used. The batch's last walked node survives as the new dummy —
+// its value has already been copied out, which is why the dummy's payload
+// is dead weight rather than a leak.
+template <class V, class G>
+std::size_t fifo_take_chain(std::atomic<QueueNode<V>*>& head, G& guard,
+                            V* out, std::size_t n) {
+    for (;;) {
+        QueueNode<V>* h = guard.protect(0u, head);
+        QueueNode<V>* end = h;
+        std::size_t count = 0;
+        bool restart = false;
+        while (count < n) {
+            QueueNode<V>* next = end->next.load(std::memory_order_acquire);
+            if (next == nullptr) break;  // drained (or in-flight enqueue gap)
+            // `next` is dereferenced right away: announce it, then
+            // revalidate the anchor (no-ops for blanket guards).
+            guard.publish(1u, next);
+            if (SEC_UNLIKELY(!guard.validate(head, h))) {
+                restart = true;
+                break;
+            }
+            out[count++] = next->value;
+            QueueNode<V>* after =
+                next->next.load(std::memory_order_relaxed);
+            if (after != nullptr) prefetch(after);
+            end = next;
+        }
+        if (SEC_UNLIKELY(restart)) {
+            cpu_relax();
+            continue;
+        }
+        if (count == 0) return 0;
+        QueueNode<V>* expected = h;
+        if (SEC_LIKELY(head.compare_exchange_weak(
+                expected, end, std::memory_order_acq_rel,
+                std::memory_order_acquire))) {
+            // Nodes h .. pred(end) are exclusively ours now; `end` stays in
+            // the list as the new dummy and is never touched again here.
+            QueueNode<V>* node = h;
+            for (std::size_t i = 0; i < count; ++i) {
+                QueueNode<V>* next =
+                    node->next.load(std::memory_order_relaxed);
+                guard.domain().retire(node);
+                node = next;
+            }
+            return count;
+        }
+        cpu_relax();
+    }
+}
+
+// Read the front value without detaching it; uses slots 0 and 1 of a
+// hazard guard.
+template <class V, class G>
+std::optional<V> fifo_peek(const std::atomic<QueueNode<V>*>& head, G& guard) {
+    for (;;) {
+        QueueNode<V>* h = guard.protect(0u, head);
+        QueueNode<V>* next = h->next.load(std::memory_order_acquire);
+        if (next == nullptr) return std::nullopt;
+        guard.publish(1u, next);
+        if (SEC_UNLIKELY(!guard.validate(head, h))) {
+            cpu_relax();
+            continue;
+        }
+        return next->value;
+    }
+}
+
+// Teardown only: no concurrent access may remain. Frees the dummy too.
+template <class V>
+void fifo_destroy(std::atomic<QueueNode<V>*>& head,
+                  std::atomic<QueueNode<V>*>& tail) {
+    QueueNode<V>* node = head.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+        QueueNode<V>* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+    }
+    head.store(nullptr, std::memory_order_relaxed);
+    tail.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace sec::detail

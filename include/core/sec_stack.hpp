@@ -25,6 +25,7 @@
 #include "core/aggregator.hpp"
 #include "core/common.hpp"
 #include "core/config.hpp"
+#include "core/container_concept.hpp"
 #include "core/spine.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/reclaimer.hpp"
@@ -36,6 +37,7 @@ class SecStack {
 public:
     using value_type = V;
     using reclaimer_type = R;
+    static constexpr ContainerShape kShape = ContainerShape::lifo;
 
     explicit SecStack(Config cfg) : aggs_(cfg) {}
     SecStack(Config cfg, R& domain) : aggs_(cfg), domain_(domain) {}
@@ -97,6 +99,10 @@ public:
     StatsSnapshot stats() const { return aggs_.stats(); }
 
     const Config& config() const noexcept { return aggs_.config(); }
+
+    // Shape-neutral aliases (container_concept.hpp).
+    bool put(const V& v) { return push(v); }
+    std::optional<V> take() { return pop(); }
 
 private:
     using Aggs = detail::AggregatorSet<V>;

@@ -1,11 +1,11 @@
 // core/sharded_stack.hpp — the sec::shard façade: K independent inner
-// stacks behind one ConcurrentStack surface (DESIGN.md §8).
+// stacks behind one ConcurrentContainer surface (DESIGN.md §8).
 //
 // The paper's SEC scales until its aggregator/elimination layer saturates
 // the one cache-line-contended anchor every thread shares (the spine top
 // plus K freezer locks). ShardedStack adds the next scaling axis ABOVE the
 // stack concept: it partitions load across `num_shards` independent inner
-// stacks — any ConcurrentStack, SEC in the registry's SEC@shardK variants —
+// stacks — any ConcurrentContainer, SEC in the registry's SEC@shardK variants —
 // with
 //
 //   affinity   every thread owns a home shard derived from its small
@@ -104,11 +104,14 @@ struct ShardStats {
     double steal_pct() const noexcept;
 };
 
-template <ConcurrentStack Inner>
+template <ConcurrentContainer Inner>
 class ShardedStack {
 public:
     using value_type = typename Inner::value_type;
     using inner_type = Inner;
+    // The façade relaxes cross-shard order either way; per-shard order is
+    // whatever the inner containers guarantee, so the shape is theirs.
+    static constexpr ContainerShape kShape = Inner::kShape;
 
     // `make_inner(shard)` builds shard number `shard`'s inner stack. Each
     // call should produce a fully independent structure (own spine, own
@@ -265,6 +268,10 @@ public:
         }
         return out;
     }
+
+    // Shape-neutral aliases (container_concept.hpp).
+    bool put(const value_type& v) { return push(v); }
+    std::optional<value_type> take() { return pop(); }
 
 private:
     struct alignas(kCacheLineSize) Shard {

@@ -1,6 +1,10 @@
-// core/stack_concept.hpp — the ConcurrentStack concept every structure in
-// this library models, plus AnyStack, a type-erased handle the registry and
-// the secbench scenario driver work in terms of.
+// core/stack_concept.hpp — AnyStack, the type-erased container handle the
+// registry and the secbench scenario driver work in terms of. The static
+// contract it erases is the shape-parameterized ConcurrentContainer concept
+// (core/container_concept.hpp); the class keeps its historical name because
+// every call site spells operations push/pop — the canonical put/take are
+// forwarded to the same virtuals, and `shape()` carries the erased type's
+// kShape trait to runtime consumers (secbench --list, the net STATS frame).
 //
 // AnyStack keeps virtual dispatch OFF the measured hot path: the Model
 // interface erases whole *phases* (prefill / timed mixed loop / fixed-op
@@ -22,6 +26,7 @@
 #include <utility>
 
 #include "core/config.hpp"
+#include "core/container_concept.hpp"
 #include "core/op_mix.hpp"
 
 namespace sec {
@@ -29,19 +34,6 @@ namespace sec {
 namespace bench {
 class LatencyHistogram;  // workload/histogram.hpp
 }
-
-// What a stack must provide to participate in the library: a value type,
-// push (false only on resource exhaustion), and optional-returning pop/peek
-// (nullopt == EMPTY). ElimPool rides along via an adapter whose peek always
-// returns nullopt.
-template <class S>
-concept ConcurrentStack =
-    requires(S s, const typename S::value_type v) {
-        typename S::value_type;
-        { s.push(v) } -> std::convertible_to<bool>;
-        { s.pop() } -> std::same_as<std::optional<typename S::value_type>>;
-        { s.peek() } -> std::same_as<std::optional<typename S::value_type>>;
-    };
 
 // Per-worker inputs of one phase. Each phase seeds its own PRNG so phases
 // are independently reproducible and reorderable across scenarios.
@@ -91,6 +83,10 @@ public:
         virtual std::optional<value_type> pop() = 0;
         virtual std::optional<value_type> peek() = 0;
 
+        // The erased type's kShape trait (ContainerShape); drives the net
+        // STATS frame and secbench shape checks.
+        virtual ContainerShape shape() const = 0;
+
         // Phase entry points: one virtual call, then a concrete-typed loop.
         virtual void prefill(std::size_t count, const PhaseArgs& args) = 0;
         virtual std::uint64_t mixed_until(const std::atomic<bool>& stop,
@@ -122,6 +118,11 @@ public:
     bool push(value_type v) { return model_->push(v); }
     std::optional<value_type> pop() { return model_->pop(); }
     std::optional<value_type> peek() { return model_->peek(); }
+
+    // Shape-neutral aliases (same virtuals; see container_concept.hpp).
+    bool put(value_type v) { return model_->push(v); }
+    std::optional<value_type> take() { return model_->pop(); }
+    ContainerShape shape() const { return model_->shape(); }
 
     void prefill(std::size_t count, const PhaseArgs& args) {
         model_->prefill(count, args);

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "core/common.hpp"
+#include "core/container_concept.hpp"
 #include "core/spine.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/reclaimer.hpp"
@@ -20,6 +21,7 @@ class TreiberStack {
 public:
     using value_type = V;
     using reclaimer_type = R;
+    static constexpr ContainerShape kShape = ContainerShape::lifo;
 
     explicit TreiberStack(std::size_t /*max_threads*/) {}
     TreiberStack(std::size_t /*max_threads*/, R& domain) : domain_(domain) {}
@@ -50,6 +52,10 @@ public:
     // Reclamation hooks the workload runner drives (see runner.hpp).
     void quiesce() { domain_->quiesce(); }
     void reclaim_offline() { domain_->offline(); }
+
+    // Shape-neutral aliases (container_concept.hpp).
+    bool put(const V& v) { return push(v); }
+    std::optional<V> take() { return pop(); }
 
 private:
     reclaim::DomainRef<R> domain_;

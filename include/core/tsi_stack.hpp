@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "core/common.hpp"
+#include "core/container_concept.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/reclaimer.hpp"
 
@@ -36,6 +37,7 @@ class TsiStack {
 
 public:
     using value_type = V;
+    static constexpr ContainerShape kShape = ContainerShape::lifo;
     using reclaimer_type = R;
 
     explicit TsiStack(std::size_t max_threads)
@@ -114,6 +116,10 @@ public:
     // Reclamation hooks the workload runner drives (see runner.hpp).
     void quiesce() { domain_->quiesce(); }
     void reclaim_offline() { domain_->offline(); }
+
+    // Shape-neutral aliases (container_concept.hpp).
+    bool put(const V& v) { return push(v); }
+    std::optional<V> take() { return pop(); }
 
 private:
     struct Node {

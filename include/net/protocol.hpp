@@ -30,7 +30,7 @@ enum class MsgType : std::uint8_t {
     kStatsReq = 3,  //   (no fields)
     kPushResp = 4,  // + u8 ok
     kPopResp = 5,   // + u8 has_value, u64 value
-    kStatsResp = 6, // + u64 pushes, pops, empties, batches
+    kStatsResp = 6, // + u64 pushes, pops, empties, batches + u8 shape
 };
 
 // Server-side counters a kStatsResp carries (a subset of NetServerStats,
@@ -38,8 +38,12 @@ enum class MsgType : std::uint8_t {
 struct WireStats {
     std::uint64_t pushes = 0;
     std::uint64_t pops = 0;    // successful pops
-    std::uint64_t empties = 0; // pops that found the stack empty
+    std::uint64_t empties = 0; // pops that found the container empty
     std::uint64_t batches = 0; // readiness/completion batches drained
+    // ContainerShape of the served structure as its wire byte (0 lifo,
+    // 1 fifo, 2 unordered) — a client learns whether PUSH/POP mean
+    // stack push/pop or enqueue/dequeue without out-of-band knowledge.
+    std::uint8_t shape = 0;
 };
 
 // One decoded (or to-be-encoded) message. Fields beyond `type`/`tag` are
@@ -53,7 +57,7 @@ struct Message {
 };
 
 // Hard cap on a frame's payload: the largest legal message (kStatsResp) is
-// 41 bytes, so anything bigger is garbage regardless of future growth slack.
+// 42 bytes, so anything bigger is garbage regardless of future growth slack.
 inline constexpr std::size_t kMaxPayload = 64;
 // Length prefix bytes preceding every payload.
 inline constexpr std::size_t kHeaderBytes = 4;

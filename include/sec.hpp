@@ -1,7 +1,8 @@
 // sec.hpp — umbrella header for the sec library: the SEC stack, its five
-// competitors (Figure 2 legend order: CC, EB, FC, SEC, TRB, TSI), the
-// pluggable reclamation subsystem (sec::reclaim — EBR default, plus QSBR,
-// hazard pointers, and the leaky baseline), and shared utilities.
+// competitors (Figure 2 legend order: CC, EB, FC, SEC, TRB, TSI), the FIFO
+// trio (SEC_Q, MS, FCQ — the `queue` scenario's matrix), the pluggable
+// reclamation subsystem (sec::reclaim — EBR default, plus QSBR, hazard
+// pointers, and the leaky baseline), and shared utilities.
 #pragma once
 
 #include <algorithm>
@@ -11,10 +12,14 @@
 #include "core/cc_stack.hpp"
 #include "core/common.hpp"
 #include "core/config.hpp"
+#include "core/container_concept.hpp"
 #include "core/eb_stack.hpp"
 #include "core/ebr.hpp"
+#include "core/fc_queue.hpp"
 #include "core/fc_stack.hpp"
+#include "core/ms_queue.hpp"
 #include "core/op_mix.hpp"
+#include "core/sec_queue.hpp"
 #include "core/sec_stack.hpp"
 #include "core/treiber_stack.hpp"
 #include "core/tsi_stack.hpp"
@@ -22,9 +27,9 @@
 
 namespace sec {
 
-// Construct any of the six stacks with a bound on concurrently-live threads:
-// Config-based stacks (SecStack) get a default Config sized to the bound,
-// the others take the bound directly.
+// Construct any of the containers with a bound on concurrently-live threads:
+// Config-based structures (SecStack, SecQueue) get a default Config sized to
+// the bound, the others take the bound directly.
 template <class S>
 std::unique_ptr<S> make_stack(std::size_t max_threads) {
     if constexpr (std::is_constructible_v<S, Config>) {

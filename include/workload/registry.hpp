@@ -70,6 +70,11 @@ struct AlgoSpec {
     // structures without a reclaimer, i.e. CC/FC).
     std::string base{};
     std::string reclaim{};
+    // Removal order of the structure (kShape of the erased type). Printed by
+    // `secbench --list`; the driver refuses shape-mixed `--algos` sets and
+    // the `queue` scenario selects on it. Defaults to lifo so positional
+    // registrations of the stack era stay valid.
+    ContainerShape shape = ContainerShape::lifo;
 };
 
 class AlgorithmRegistry {

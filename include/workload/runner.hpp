@@ -87,7 +87,7 @@ inline void offline_hook(S& stack) {
 
 // ---- the phases ------------------------------------------------------------
 
-template <ConcurrentStack S>
+template <ConcurrentContainer S>
 void phase_prefill(S& stack, std::size_t count, const PhaseArgs& args) {
     Xoshiro256 rng(args.seed);
     for (std::size_t i = 0; i < count; ++i) {
@@ -98,7 +98,7 @@ void phase_prefill(S& stack, std::size_t count, const PhaseArgs& args) {
     detail::offline_hook(stack);
 }
 
-template <ConcurrentStack S>
+template <ConcurrentContainer S>
 std::uint64_t phase_mixed_until(S& stack, const std::atomic<bool>& stop,
                                 const PhaseArgs& args) {
     Xoshiro256 rng(args.seed);
@@ -122,7 +122,7 @@ std::uint64_t phase_mixed_until(S& stack, const std::atomic<bool>& stop,
     return local;
 }
 
-template <ConcurrentStack S>
+template <ConcurrentContainer S>
 std::uint64_t phase_mixed_ops(S& stack, std::uint64_t count,
                               const PhaseArgs& args) {
     Xoshiro256 rng(args.seed);
@@ -152,7 +152,7 @@ std::uint64_t phase_mixed_ops(S& stack, std::uint64_t count,
 // starve the consumers), but it never edits the stamp when it falls behind —
 // a late push is billed to the request, which is exactly the
 // coordinated-omission-free contract.
-template <ConcurrentStack S>
+template <ConcurrentContainer S>
 std::uint64_t phase_serve_produce(S& stack, const ServeProduceArgs& a) {
     using Clock = std::chrono::steady_clock;
     for (std::size_t i = 0; i < a.count; ++i) {
@@ -184,7 +184,7 @@ std::uint64_t phase_serve_produce(S& stack, const ServeProduceArgs& a) {
 // (the open-loop view). A consumer that stalls — preempted, combining for
 // others, or the injected test stall — inflates the sojourn of every request
 // backed up behind it, which closed-loop service timing cannot see.
-template <ConcurrentStack S>
+template <ConcurrentContainer S>
 std::uint64_t phase_serve_consume(S& stack, const std::atomic<bool>& stop,
                                   const ServeConsumeArgs& a,
                                   LatencyHistogram& sojourn,
@@ -228,7 +228,7 @@ std::uint64_t phase_serve_consume(S& stack, const std::atomic<bool>& stop,
     return done;
 }
 
-template <ConcurrentStack S>
+template <ConcurrentContainer S>
 std::uint64_t phase_timed_until(S& stack, const std::atomic<bool>& stop,
                                 const PhaseArgs& args, LatencyHistogram& hist) {
     Xoshiro256 rng(args.seed);
@@ -261,7 +261,7 @@ std::uint64_t phase_timed_until(S& stack, const std::atomic<bool>& stop,
 
 // AnyStack::Model for a concrete stack type: per-op calls forward, phase
 // calls drop straight into the templates above with S statically known.
-template <ConcurrentStack S>
+template <ConcurrentContainer S>
 class StackModel final : public AnyStack::Model {
 public:
     explicit StackModel(std::unique_ptr<S> stack) : stack_(std::move(stack)) {}
@@ -281,6 +281,7 @@ public:
         }
         return std::nullopt;
     }
+    ContainerShape shape() const override { return S::kShape; }
 
     void prefill(std::size_t count, const PhaseArgs& args) override {
         phase_prefill(*stack_, count, args);
@@ -327,7 +328,7 @@ private:
     std::unique_ptr<S> stack_;
 };
 
-template <ConcurrentStack S>
+template <ConcurrentContainer S>
 AnyStack erase_stack(std::unique_ptr<S> stack) {
     return AnyStack(std::make_unique<StackModel<S>>(std::move(stack)));
 }

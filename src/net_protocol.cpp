@@ -48,7 +48,7 @@ std::size_t payload_size(MsgType type) noexcept {
         case MsgType::kPopResp:
             return 1 + 8 + 1 + 8;
         case MsgType::kStatsResp:
-            return 1 + 8 + 4 * 8;
+            return 1 + 8 + 4 * 8 + 1;
     }
     return 0;  // unknown type byte
 }
@@ -78,6 +78,7 @@ void encode(const Message& msg, std::vector<std::uint8_t>& out) {
             put_u64(out, msg.stats.pops);
             put_u64(out, msg.stats.empties);
             put_u64(out, msg.stats.batches);
+            put_u8(out, msg.stats.shape);
             break;
     }
 }
@@ -121,6 +122,7 @@ DecodeResult decode(const std::uint8_t* data, std::size_t len, Message& out) {
             out.stats.pops = get_u64(p + 17);
             out.stats.empties = get_u64(p + 25);
             out.stats.batches = get_u64(p + 33);
+            out.stats.shape = p[41];
             break;
     }
     return {DecodeStatus::kOk, kHeaderBytes + payload};

@@ -260,6 +260,8 @@ void SecServer::apply(const Message& req, Conn& conn) {
             resp.stats.pops = pops_.load(std::memory_order_relaxed);
             resp.stats.empties = empties_.load(std::memory_order_relaxed);
             resp.stats.batches = batches_.load(std::memory_order_relaxed);
+            resp.stats.shape =
+                static_cast<std::uint8_t>(stack_.shape());
             break;
         }
         default:

@@ -19,16 +19,16 @@ namespace {
 
 // ---- algorithm factories ---------------------------------------------------
 
-// Stacks with no reclamation domain (CcStack/FcStack: combining designs
-// reclaim through their combiner, so `domain` is ignored for them).
-template <ConcurrentStack S>
+// Containers with no reclamation domain (CcStack/FcStack/FcQueue: combining
+// designs reclaim through their combiner, so `domain` is ignored for them).
+template <ConcurrentContainer S>
 AnyStack make_plain_stack(const StackParams& p) {
     return erase_stack(make_stack<S>(tid_bound(p.threads)));
 }
 
-// Thread-bound stacks whose reclaimer is baked into S; an external domain of
-// the matching scheme is borrowed when the handle carries one.
-template <ConcurrentStack S>
+// Thread-bound containers whose reclaimer is baked into S; an external domain
+// of the matching scheme is borrowed when the handle carries one.
+template <ConcurrentContainer S>
 AnyStack make_bound_stack(const StackParams& p) {
     using R = typename S::reclaimer_type;
     if (p.domain != nullptr) {
@@ -51,16 +51,31 @@ AnyStack make_sec(const StackParams& p) {
     return erase_stack(std::make_unique<SecStack<Value, R>>(cfg));
 }
 
+// Same Config plumbing as make_sec; SecQueue itself forces eliminate off.
+template <reclaim::Reclaimer R>
+AnyStack make_sec_queue(const StackParams& p) {
+    const Config cfg = effective_stack_config(p);
+    if (p.domain != nullptr) {
+        if (R* d = p.domain->get<R>()) {
+            return erase_stack(std::make_unique<SecQueue<Value, R>>(cfg, *d));
+        }
+    }
+    return erase_stack(std::make_unique<SecQueue<Value, R>>(cfg));
+}
+
 // ElimPool behind the stack concept: the SEC machinery on per-aggregator
 // spines, LIFO order dropped (pools don't peek).
 template <reclaim::Reclaimer R>
 struct PoolStackAdapter {
     using value_type = Value;
+    static constexpr ContainerShape kShape = ContainerShape::unordered;
     explicit PoolStackAdapter(Config cfg) : pool(std::move(cfg)) {}
     PoolStackAdapter(Config cfg, R& d) : pool(std::move(cfg), d) {}
     bool push(const value_type& v) { return pool.insert(v); }
     std::optional<value_type> pop() { return pool.extract(); }
     std::optional<value_type> peek() { return std::nullopt; }
+    bool put(const value_type& v) { return pool.insert(v); }
+    std::optional<value_type> take() { return pool.extract(); }
     void quiesce() { pool.quiesce(); }
     void reclaim_offline() { pool.reclaim_offline(); }
     ElimPool<value_type, R> pool;
@@ -85,6 +100,7 @@ AnyStack make_pool(const StackParams& p) {
 // so it stops (joins) before the stack and the tuning state it reads die.
 struct AdaptiveSecStack {
     using value_type = Value;
+    static constexpr ContainerShape kShape = ContainerShape::lifo;
 
     static Config wire(Config cfg, const TuningState* tuning) {
         cfg.collect_stats = true;  // the controller's feedback signal
@@ -105,6 +121,8 @@ struct AdaptiveSecStack {
     bool push(const value_type& v) { return stack.push(v); }
     std::optional<value_type> pop() { return stack.pop(); }
     std::optional<value_type> peek() const { return stack.peek(); }
+    bool put(const value_type& v) { return stack.push(v); }
+    std::optional<value_type> take() { return stack.pop(); }
     void quiesce() { stack.quiesce(); }
     void reclaim_offline() { stack.reclaim_offline(); }
     StatsSnapshot stats() const { return stack.stats(); }
@@ -150,7 +168,12 @@ void register_reclaim_variants(AlgorithmRegistry& reg, int rank) {
                  make_bound_stack<TsiStack<Value, R>>});
     }
     reg.add({variant("POOL"), desc("POOL"), rank + 4, false, true,
-             make_pool<R>});
+             make_pool<R>, {}, {}, ContainerShape::unordered});
+    reg.add({variant("SEC_Q"), desc("SEC_Q"), rank + 5, false, true,
+             make_sec_queue<R>, {}, {}, ContainerShape::fifo});
+    reg.add({variant("MS"), desc("MS"), rank + 6, false, true,
+             make_bound_stack<MsQueue<Value, R>>, {}, {},
+             ContainerShape::fifo});
 }
 
 void register_builtin_algorithms(AlgorithmRegistry& reg) {
@@ -168,7 +191,20 @@ void register_builtin_algorithms(AlgorithmRegistry& reg) {
     reg.add({"TSI", "timestamped stack (per-thread pools)", 5, true, true,
              make_bound_stack<TsiStack<Value>>});
     reg.add({"POOL", "ElimPool — SEC machinery, unordered, per-aggregator spines",
-             10, false, true, make_pool<reclaim::EpochDomain>});
+             10, false, true, make_pool<reclaim::EpochDomain>, {}, {},
+             ContainerShape::unordered});
+    // The FIFO competitor trio (ROADMAP item 2): same registry, same
+    // reclaim cross-product, selected by the `queue` scenario. Not in the
+    // Figure-2 default set — that set is the paper's six stacks.
+    reg.add({"SEC_Q",
+             "sharded combining FIFO queue — SEC batching, no elimination",
+             12, false, true, make_sec_queue<reclaim::EpochDomain>, {}, {},
+             ContainerShape::fifo});
+    reg.add({"MS", "Michael-Scott queue (CAS per op on head/tail lines)", 13,
+             false, true, make_bound_stack<MsQueue<Value>>, {}, {},
+             ContainerShape::fifo});
+    reg.add({"FCQ", "flat-combining queue", 14, false, false,
+             make_plain_stack<FcQueue<Value>>, {}, {}, ContainerShape::fifo});
     // SEC under the sec::adapt runtime controller. base is set to the full
     // name on purpose: adaptivity is not a reclamation scheme, so --reclaim
     // must not silently rebind SEC@adaptive to SEC@hp (it reports "no

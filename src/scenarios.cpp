@@ -60,6 +60,39 @@ int fig2(const ScenarioContext& ctx) {
     return 0;
 }
 
+// ---- queue: the FIFO matrix — fig2's op-mix grid over queue algorithms -----
+
+int queue(const ScenarioContext& ctx) {
+    // Run on the FIFO members of the current selection. When the caller left
+    // the (all-lifo) Figure-2 default set in place — `secbench all`, plain
+    // `--scenario queue` — fall back to the queue trio; an explicitly
+    // shape-mixed --algos set never gets this far (the driver rejects it).
+    std::vector<const AlgoSpec*> fifo;
+    for (const AlgoSpec* a : ctx.algos) {
+        if (a->shape == ContainerShape::fifo) fifo.push_back(a);
+    }
+    if (fifo.empty()) {
+        const AlgorithmRegistry& reg = AlgorithmRegistry::instance();
+        for (const char* name : {"SEC_Q", "MS", "FCQ"}) {
+            if (const AlgoSpec* a = reg.find(name)) fifo.push_back(a);
+        }
+        std::fprintf(stderr,
+                     "queue: no FIFO algorithms selected; using the default "
+                     "trio (SEC_Q, MS, FCQ)\n");
+    }
+    ScenarioContext qctx = ctx;
+    qctx.algos = fifo;
+    for (const OpMix& mix : kStandardMixes) {
+        Table table(std::string("queue_") + std::string(mix.name),
+                    qctx.columns());
+        std::fprintf(stderr, "workload %s (%u%% updates)\n", mix.name.data(),
+                     mix.update_pct());
+        for (const AlgoSpec* a : qctx.algos) qctx.series(table, *a, mix);
+        qctx.emit(table);
+    }
+    return 0;
+}
+
 // ---- fig3: EXP2 — asymmetric push-only / pop-only workloads ----------------
 
 int fig3(const ScenarioContext& ctx) {
@@ -1133,6 +1166,10 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
              fig2});
     reg.add({"fig3", "EXP2 — push-only / pop-only asymmetric workloads",
              fig3});
+    reg.add({"queue",
+             "FIFO matrix — SEC_Q vs MS vs FCQ across the fig2 op-mix grid "
+             "(DESIGN.md §12)",
+             queue});
     reg.add({"fig4", "EXP3 — SEC self-comparison, 1..5 aggregators", fig4});
     reg.add({"table1", "EXP4 — SEC batching/elimination/combining degrees",
              table1});

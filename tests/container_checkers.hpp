@@ -1,0 +1,165 @@
+// tests/container_checkers.hpp — shared element-accounting and
+// order-checking helpers for every container test (semantics, stress, and
+// the shape-generic conformance suite). One home instead of per-test
+// copies, so the tag scheme and the conservation oracle cannot drift.
+//
+// Tag tokens: every element a test inserts is stamped (producer, seq) —
+// producer in the high 32 bits (offset by one so a raw 0 can never alias a
+// token), seq in the low 32. Conservation checks compare multisets of
+// tokens; order checks read the fields back and reason about per-producer
+// seq monotonicity, which is exactly the observable each shape promises:
+//
+//   * FIFO — a producer's k-th insert is enqueued (and therefore dequeued)
+//     before its (k+1)-th, and any single observer's removals are a
+//     subsequence of the total removal order, so per (observer, producer)
+//     the seqs are strictly INCREASING. This holds even under concurrent
+//     churn.
+//   * LIFO — with all inserts completed first (two-phase: push, join,
+//     drain), a producer's elements sit in the stack with larger seqs
+//     nearer the top, so per (observer, producer) the drained seqs are
+//     strictly DECREASING. (Under concurrent churn LIFO makes no
+//     per-producer promise an observer could check locally — elimination
+//     legally short-circuits pairs — which is why the order oracle for
+//     stacks runs in the quiescent drain phase.)
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace sec::testing {
+
+using Value = std::uint64_t;
+
+constexpr Value tag(unsigned producer, std::uint32_t seq) {
+    return (static_cast<Value>(producer + 1) << 32) | seq;
+}
+
+constexpr unsigned tag_producer(Value v) {
+    return static_cast<unsigned>(v >> 32) - 1;
+}
+
+constexpr std::uint32_t tag_seq(Value v) {
+    return static_cast<std::uint32_t>(v);
+}
+
+// Reclamation hooks, mirroring what the workload runner does at every
+// iteration and phase boundary. QSBR's safety contract REQUIRES them: a
+// thread is protected only between quiescence announcements, and one that
+// stops operating must go offline or it blocks reclamation forever
+// (reclaim/qsbr.hpp). The flat-combining containers have no reclaimer and
+// no hooks, hence the requires-guards.
+template <class C>
+void maybe_quiesce(C& c) {
+    if constexpr (requires { c.quiesce(); }) c.quiesce();
+}
+
+template <class C>
+void maybe_offline(C& c) {
+    if constexpr (requires { c.reclaim_offline(); }) c.reclaim_offline();
+}
+
+// Everything a churn run observed, in observation order. `popped[c]` is
+// consumer c's removals in its local order; `drained` is the post-join
+// single-threaded sweep that empties the container.
+struct ChurnResult {
+    std::vector<std::vector<Value>> pushed;
+    std::vector<std::vector<Value>> popped;
+    std::vector<Value> drained;
+};
+
+// Balanced random churn: `threads` workers each run `ops_per_thread`
+// iterations flipping a fair coin between push(tag(t, seq++)) and pop,
+// recording what they saw; afterwards one thread drains the remainder.
+template <class C>
+ChurnResult churn(C& container, unsigned threads,
+                  std::uint32_t ops_per_thread) {
+    ChurnResult r;
+    r.pushed.resize(threads);
+    r.popped.resize(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
+            std::uint32_t seq = 0;
+            auto& mine_pushed = r.pushed[t];
+            auto& mine_popped = r.popped[t];
+            mine_pushed.reserve(ops_per_thread);
+            mine_popped.reserve(ops_per_thread);
+            for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
+                maybe_quiesce(container);
+                if (rng.next_below(2) == 0) {
+                    const Value v = tag(t, seq++);
+                    container.put(v);
+                    mine_pushed.push_back(v);
+                } else if (auto v = container.take()) {
+                    mine_popped.push_back(*v);
+                }
+            }
+            maybe_offline(container);
+        });
+    }
+    for (auto& w : workers) w.join();
+    while (auto v = container.take()) r.drained.push_back(*v);
+    return r;
+}
+
+// Multiset equality of two observation sets: every inserted token came out
+// exactly once — no loss, no duplication, no invention.
+inline void expect_same_multiset(std::vector<Value> inserted,
+                                 std::vector<Value> removed) {
+    std::sort(inserted.begin(), inserted.end());
+    std::sort(removed.begin(), removed.end());
+    ASSERT_EQ(removed.size(), inserted.size());
+    EXPECT_EQ(removed, inserted)
+        << "value lost, duplicated, or invented under churn";
+}
+
+inline void expect_conserved(const ChurnResult& r) {
+    std::vector<Value> all_pushed;
+    std::vector<Value> all_popped;
+    for (const auto& p : r.pushed) {
+        all_pushed.insert(all_pushed.end(), p.begin(), p.end());
+    }
+    for (const auto& p : r.popped) {
+        all_popped.insert(all_popped.end(), p.begin(), p.end());
+    }
+    all_popped.insert(all_popped.end(), r.drained.begin(), r.drained.end());
+    expect_same_multiset(std::move(all_pushed), std::move(all_popped));
+}
+
+// One observer's removal sequence, checked per producer for strict seq
+// monotonicity in the given direction. `who` labels the failure.
+inline void expect_per_producer_monotonic(const std::vector<Value>& removals,
+                                          unsigned producers, bool increasing,
+                                          const char* who) {
+    // last seen seq per producer, offset by one so 0 means "none yet".
+    std::vector<std::uint64_t> last(producers, 0);
+    for (Value v : removals) {
+        const unsigned p = tag_producer(v);
+        ASSERT_LT(p, producers) << who << ": alien token " << v;
+        const std::uint64_t seq = std::uint64_t{tag_seq(v)} + 1;
+        if (last[p] != 0) {
+            if (increasing) {
+                EXPECT_GT(seq, last[p])
+                    << who << ": producer " << p << " seq " << (seq - 1)
+                    << " observed after seq " << (last[p] - 1)
+                    << " — FIFO order violated";
+            } else {
+                EXPECT_LT(seq, last[p])
+                    << who << ": producer " << p << " seq " << (seq - 1)
+                    << " observed after seq " << (last[p] - 1)
+                    << " — LIFO order violated";
+            }
+        }
+        last[p] = seq;
+    }
+}
+
+}  // namespace sec::testing

@@ -40,7 +40,7 @@ std::vector<Message> sample_messages() {
     Message stats_resp;
     stats_resp.type = MsgType::kStatsResp;
     stats_resp.tag = 11;
-    stats_resp.stats = {100, 60, 3, 17};
+    stats_resp.stats = {100, 60, 3, 17, 1};  // shape byte: fifo
 
     return {push_req, pop_req, stats_req, push_resp, pop_resp, stats_resp};
 }
@@ -67,6 +67,7 @@ void expect_equal(const Message& a, const Message& b) {
             EXPECT_EQ(a.stats.pops, b.stats.pops);
             EXPECT_EQ(a.stats.empties, b.stats.empties);
             EXPECT_EQ(a.stats.batches, b.stats.batches);
+            EXPECT_EQ(a.stats.shape, b.stats.shape);
             break;
     }
 }

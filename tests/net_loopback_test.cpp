@@ -135,6 +135,64 @@ TEST(NetLoopback, ServesLifoSemanticsOverTheWire) {
     EXPECT_EQ(resp.stats.pops, 3u);
     EXPECT_EQ(resp.stats.empties, 1u);
     EXPECT_GE(resp.stats.batches, 1u);
+    EXPECT_EQ(resp.stats.shape,
+              static_cast<std::uint8_t>(ContainerShape::lifo));
+
+    server.stop();
+}
+
+// The same wire protocol over a SecQueue-backed server: PUSH/POP map onto
+// enqueue/dequeue 1:1, pops drain in arrival order, and STATS reports the
+// fifo shape byte so a remote client can tell which semantics it is
+// talking to.
+TEST(NetLoopback, ServesFifoSemanticsOverTheWire) {
+    SecServer server(make_stack("SEC_Q"), {});
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    ASSERT_NE(server.port(), 0);
+
+    SyncClient client;
+    ASSERT_TRUE(client.connect_to(server.port()));
+
+    Message req, resp;
+    for (std::uint64_t v : {11u, 22u, 33u}) {
+        req = Message{};
+        req.type = MsgType::kPushReq;
+        req.tag = 100 + v;
+        req.value = v;
+        ASSERT_TRUE(client.roundtrip(req, resp));
+        EXPECT_EQ(resp.type, MsgType::kPushResp);
+        EXPECT_EQ(resp.tag, 100 + v);
+        EXPECT_TRUE(resp.ok);
+    }
+    // FIFO: pops return 11, 22, 33 — arrival order — then EMPTY.
+    for (std::uint64_t v : {11u, 22u, 33u}) {
+        req = Message{};
+        req.type = MsgType::kPopReq;
+        req.tag = 200 + v;
+        ASSERT_TRUE(client.roundtrip(req, resp));
+        EXPECT_EQ(resp.type, MsgType::kPopResp);
+        EXPECT_EQ(resp.tag, 200 + v);
+        EXPECT_TRUE(resp.ok);
+        EXPECT_EQ(resp.value, v);
+    }
+    req = Message{};
+    req.type = MsgType::kPopReq;
+    req.tag = 999;
+    ASSERT_TRUE(client.roundtrip(req, resp));
+    EXPECT_EQ(resp.type, MsgType::kPopResp);
+    EXPECT_FALSE(resp.ok);
+
+    req = Message{};
+    req.type = MsgType::kStatsReq;
+    req.tag = 1;
+    ASSERT_TRUE(client.roundtrip(req, resp));
+    EXPECT_EQ(resp.type, MsgType::kStatsResp);
+    EXPECT_EQ(resp.stats.pushes, 3u);
+    EXPECT_EQ(resp.stats.pops, 3u);
+    EXPECT_EQ(resp.stats.empties, 1u);
+    EXPECT_EQ(resp.stats.shape,
+              static_cast<std::uint8_t>(ContainerShape::fifo));
 
     server.stop();
 }

@@ -202,6 +202,85 @@ TYPED_TEST(ReclaimConformanceTest, StackChurnIsSafeAndConserving) {
     EXPECT_EQ(s.retired, s.freed + s.in_limbo());
 }
 
+// FIFO twin of the stack churn: the queues' dequeue paths are where the
+// hazard discipline is hardest (MS protects the dummy AND its successor in
+// two slots at once; SEC_Q's combiner walks a detached chain whose new
+// dummy a later dequeuer may retire), so run the same conserve-under-churn
+// soak through MsQueue and SecQueue on every scheme. This is what covers
+// MS@hp and SEC_Q@ebr under TSan/ASan in CI.
+template <class Q, class R>
+void queue_churn(Q& queue) {
+    constexpr unsigned kThreads = 4;
+    constexpr std::uint32_t kOps = 20000;
+    using Value = std::uint64_t;
+    auto tag = [](unsigned thread, std::uint32_t seq) {
+        return (static_cast<Value>(thread + 1) << 32) | seq;
+    };
+
+    std::vector<std::vector<Value>> pushed(kThreads);
+    std::vector<std::vector<Value>> popped(kThreads);
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
+            std::uint32_t seq = 0;
+            for (std::uint32_t i = 0; i < kOps; ++i) {
+                queue.quiesce();
+                const std::uint64_t r = rng.next_below(4);
+                if (r == 0) {
+                    const Value v = tag(t, seq++);
+                    queue.put(v);
+                    pushed[t].push_back(v);
+                } else if (r == 1) {
+                    (void)queue.peek();
+                } else if (auto v = queue.take()) {
+                    popped[t].push_back(*v);
+                }
+            }
+            queue.reclaim_offline();
+        });
+    }
+    for (auto& w : workers) w.join();
+
+    std::vector<Value> all_pushed, all_popped;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        all_pushed.insert(all_pushed.end(), pushed[t].begin(),
+                          pushed[t].end());
+        all_popped.insert(all_popped.end(), popped[t].begin(),
+                          popped[t].end());
+    }
+    while (auto v = queue.take()) all_popped.push_back(*v);
+    queue.reclaim_offline();
+
+    std::sort(all_pushed.begin(), all_pushed.end());
+    std::sort(all_popped.begin(), all_popped.end());
+    EXPECT_EQ(all_popped, all_pushed)
+        << "value lost, duplicated, or invented under FIFO churn";
+}
+
+TYPED_TEST(ReclaimConformanceTest, QueueChurnIsSafeAndConserving) {
+    using R = TypeParam;
+    using Value = std::uint64_t;
+    {
+        R domain;
+        sec::MsQueue<Value, R> ms(16, domain);
+        queue_churn<decltype(ms), R>(ms);
+        domain.drain_all();
+        const rc::Stats s = domain.stats();
+        EXPECT_EQ(s.retired, s.freed + s.in_limbo());
+    }
+    {
+        R domain;
+        sec::Config cfg;
+        cfg.max_threads = 16;
+        sec::SecQueue<Value, R> sq(cfg, domain);
+        queue_churn<decltype(sq), R>(sq);
+        domain.drain_all();
+        const rc::Stats s = domain.stats();
+        EXPECT_EQ(s.retired, s.freed + s.in_limbo());
+    }
+}
+
 // The registry's cross-product covers >= 4 schemes x >= 2 algorithms, every
 // variant round-trips through the erased handle, and a handle of the right
 // scheme is accepted where a mismatched one falls back to a private domain.
@@ -211,7 +290,8 @@ TEST(ReclaimRegistry, CrossProductRoundTripsAndBindsDomains) {
     ASSERT_GE(rec_reg.all().size(), 4u);
     unsigned combos = 0;
     for (const sec::bench::ReclaimerSpec* scheme : rec_reg.all()) {
-        for (const char* base : {"TRB", "SEC", "EB", "TSI", "POOL"}) {
+        for (const char* base :
+             {"TRB", "SEC", "EB", "TSI", "POOL", "MS", "SEC_Q"}) {
             const sec::bench::AlgoSpec* spec =
                 algo_reg.find_variant(base, scheme->name);
             if (spec == nullptr) continue;  // TSI@hp intentionally absent

@@ -28,6 +28,7 @@ constexpr auto kOpDuration = std::chrono::milliseconds(60);
 // shorter than one op, exactly the straddling op gets counted.
 struct SlowOpStack {
     using value_type = std::uint64_t;
+    static constexpr sec::ContainerShape kShape = sec::ContainerShape::lifo;
     bool push(value_type) {
         std::this_thread::sleep_for(kOpDuration);
         return true;
@@ -37,6 +38,8 @@ struct SlowOpStack {
         return std::nullopt;
     }
     std::optional<value_type> peek() { return std::nullopt; }
+    bool put(value_type v) { return push(v); }
+    std::optional<value_type> take() { return pop(); }
 };
 
 sb::RunConfig slow_config() {

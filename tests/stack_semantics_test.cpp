@@ -3,10 +3,10 @@
 // and prefill round-trips.
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "container_checkers.hpp"
 #include "sec.hpp"
 
 namespace {
@@ -76,10 +76,7 @@ TYPED_TEST(StackSemanticsTest, PrefillRoundTrips) {
     }
     std::vector<Value> popped;
     while (auto v = this->stack->pop()) popped.push_back(*v);
-    ASSERT_EQ(popped.size(), pushed.size());
-    std::sort(pushed.begin(), pushed.end());
-    std::sort(popped.begin(), popped.end());
-    EXPECT_EQ(pushed, popped);
+    sec::testing::expect_same_multiset(std::move(pushed), std::move(popped));
 }
 
 }  // namespace

@@ -1,84 +1,44 @@
-// stack_stress_test.cpp — multi-threaded invariants for all six stacks:
-// under balanced churn at 2/4/8 threads, every popped value was pushed
-// exactly once (no loss, no duplication, no invention). Values are tagged
-// (thread << 32 | seq) so provenance is checkable after the fact. Designed
-// to run clean under -DSEC_SANITIZE=thread.
+// stack_stress_test.cpp — multi-threaded conservation invariants for every
+// container: under balanced churn at 2/4/8 threads, every popped value was
+// pushed exactly once (no loss, no duplication, no invention). Tagging and
+// the conservation oracle live in container_checkers.hpp, shared with the
+// shape-conformance suite. Designed to run clean under -DSEC_SANITIZE=thread.
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <cstdint>
-#include <thread>
-#include <vector>
 
+#include "container_checkers.hpp"
 #include "sec.hpp"
 
 namespace {
 
-using Value = std::uint64_t;
-
-constexpr Value tag(unsigned thread, std::uint32_t seq) {
-    return (static_cast<Value>(thread + 1) << 32) | seq;
-}
+namespace st = sec::testing;
+using st::Value;
 
 template <class S>
 void churn(unsigned threads, std::uint32_t ops_per_thread) {
     auto stack = sec::make_stack<S>(threads + 8);
-
-    std::vector<std::vector<Value>> pushed(threads);
-    std::vector<std::vector<Value>> popped(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-        workers.emplace_back([&, t] {
-            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
-            std::uint32_t seq = 0;
-            auto& mine_pushed = pushed[t];
-            auto& mine_popped = popped[t];
-            mine_pushed.reserve(ops_per_thread);
-            mine_popped.reserve(ops_per_thread);
-            for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
-                if (rng.next_below(2) == 0) {
-                    const Value v = tag(t, seq++);
-                    stack->push(v);
-                    mine_pushed.push_back(v);
-                } else if (auto v = stack->pop()) {
-                    mine_popped.push_back(*v);
-                }
-            }
-        });
-    }
-    for (auto& w : workers) w.join();
-
-    std::vector<Value> all_pushed;
-    std::vector<Value> all_popped;
-    for (unsigned t = 0; t < threads; ++t) {
-        all_pushed.insert(all_pushed.end(), pushed[t].begin(), pushed[t].end());
-        all_popped.insert(all_popped.end(), popped[t].begin(), popped[t].end());
-    }
-    // Drain what is left; together with the popped values this must be
-    // exactly the pushed multiset.
-    while (auto v = stack->pop()) all_popped.push_back(*v);
-
-    std::sort(all_pushed.begin(), all_pushed.end());
-    std::sort(all_popped.begin(), all_popped.end());
-    ASSERT_EQ(all_popped.size(), all_pushed.size());
-    EXPECT_EQ(all_popped, all_pushed)
-        << "value lost, duplicated, or invented under churn";
+    st::expect_conserved(st::churn(*stack, threads, ops_per_thread));
 }
 
 template <class S>
 class StackStressTest : public ::testing::Test {};
 
-// The six competitors on their default (EBR) reclaimer, plus the
-// hazard-pointer variants of the CAS-spine stacks — HP is the scheme whose
-// per-node protect/validate traversal most needs the TSan soak.
+// The six LIFO competitors on their default (EBR) reclaimer, the FIFO trio
+// (SEC_Q, MS, FCQ), plus the hazard-pointer variants of the CAS-spine
+// structures — HP is the scheme whose per-node protect/validate traversal
+// most needs the TSan soak (MS dequeue holds two hazard slots at once).
 using StackTypes =
     ::testing::Types<sec::CcStack<Value>, sec::EbStack<Value>,
                      sec::FcStack<Value>, sec::SecStack<Value>,
                      sec::TreiberStack<Value>, sec::TsiStack<Value>,
+                     sec::SecQueue<Value>, sec::MsQueue<Value>,
+                     sec::FcQueue<Value>,
                      sec::TreiberStack<Value, sec::reclaim::HazardDomain>,
                      sec::EbStack<Value, sec::reclaim::HazardDomain>,
-                     sec::SecStack<Value, sec::reclaim::HazardDomain>>;
+                     sec::SecStack<Value, sec::reclaim::HazardDomain>,
+                     sec::SecQueue<Value, sec::reclaim::HazardDomain>,
+                     sec::MsQueue<Value, sec::reclaim::HazardDomain>>;
 TYPED_TEST_SUITE(StackStressTest, StackTypes);
 
 TYPED_TEST(StackStressTest, BalancedChurn2Threads) {
