@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/sharded_stack.hpp"
+#include "exec/topology.hpp"
 #include "net/event_loop.hpp"
 #include "workload/bench_json.hpp"
 #include "workload/registry.hpp"
@@ -68,6 +69,12 @@ int usage(std::FILE* out) {
                  "  --backend NAME     sec::net event backend: epoll | "
                  "iouring (iouring\n"
                  "                     needs a -DSEC_IOURING=ON build)\n"
+                 "  --pin POLICY       worker placement: none | compact | "
+                 "scatter | smt\n"
+                 "                     (topology-aware cpu pinning; "
+                 "best-effort where\n"
+                 "                     affinity is restricted — see "
+                 "DESIGN.md §13)\n"
                  "  --scenario NAME    alias for the positional scenario "
                  "argument\n"
                  "  --json PATH        write a BENCH_*.json perf snapshot "
@@ -90,7 +97,8 @@ int usage(std::FILE* out) {
                  "  --paper            the paper's 5 s x 5-run methodology\n"
                  "environment: SEC_BENCH_DURATION_MS / _RUNS / _THREADS / "
                  "_PREFILL / _VALUE_RANGE / _SEED / _RECLAIM / _SHARDS / "
-                 "_LOAD / _ARRIVAL / _PORT / _BACKEND / _PAPER\n");
+                 "_LOAD / _ARRIVAL / _PORT / _BACKEND / _PIN / _COUNTERS / "
+                 "_PAPER\n");
     return out == stderr ? 2 : 0;
 }
 
@@ -170,6 +178,7 @@ int main(int argc, char** argv) {
     const char* arrival = nullptr;
     long long port = -1;  // -1 = not given (0 is a valid "in-process" value)
     const char* backend = nullptr;
+    const char* pin = nullptr;
     bool smoke = false;
     bool run_all = false;
 
@@ -293,6 +302,17 @@ int main(int argc, char** argv) {
                              "secbench: --backend '%s' must be epoll or "
                              "iouring\n",
                              backend);
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--pin") == 0) {
+            // Strict like --shards: a typo must not silently run unpinned
+            // and masquerade as a placement measurement.
+            pin = next_value(i, arg);
+            if (!sec::topo::parse_pin_policy(pin)) {
+                std::fprintf(stderr,
+                             "secbench: --pin '%s' must be none, compact, "
+                             "scatter, or smt\n",
+                             pin);
                 return 2;
             }
         } else if (std::strcmp(arg, "--arrival") == 0) {
@@ -435,8 +455,10 @@ int main(int argc, char** argv) {
             ctx.env.value_range = baseline.meta.value_range;
         }
         ctx.env.seed = baseline.meta.seed;
+        if (!baseline.meta.pin.empty()) ctx.env.pin = baseline.meta.pin;
         if (repeats == 0) repeats = std::max(1u, baseline.meta.repeats);
     }
+    if (pin != nullptr) ctx.env.pin = pin;
     if (duration_ms > 0) ctx.env.duration_ms = duration_ms;
     if (runs > 0) ctx.env.runs = runs;
     if (prefill >= 0) ctx.env.prefill = static_cast<std::size_t>(prefill);
@@ -611,6 +633,7 @@ int main(int argc, char** argv) {
         meta.prefill = ctx.env.prefill;
         meta.value_range = ctx.env.value_range;
         meta.seed = ctx.env.seed;
+        meta.pin = ctx.env.pin.empty() ? "none" : ctx.env.pin;
         current.meta = std::move(meta);
 
         if (json_path != nullptr) {
@@ -624,6 +647,19 @@ int main(int argc, char** argv) {
             }
         }
         if (baseline_path != nullptr) {
+            // Topology drift warns but never fails: the compare already
+            // scale-normalizes cross-machine speed, but a shape change
+            // (socket count, SMT, pin policy) is context every surprising
+            // per-cell delta needs.
+            const std::string drift =
+                sb::json::topology_mismatch(baseline.meta, current.meta);
+            if (!drift.empty()) {
+                std::fprintf(stderr,
+                             "secbench: warning: baseline topology differs "
+                             "from this host: %s (refresh the snapshot here "
+                             "to silence; see REPRODUCING.md §6)\n",
+                             drift.c_str());
+            }
             const sb::json::CompareResult cmp =
                 sb::json::compare(baseline, current, tolerance);
             sb::json::print_compare(cmp, stdout);

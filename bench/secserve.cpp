@@ -16,6 +16,7 @@
 #include <string>
 #include <thread>
 
+#include "exec/topology.hpp"
 #include "net/server.hpp"
 #include "workload/registry.hpp"
 
@@ -28,15 +29,19 @@ void on_signal(int) { g_stop.store(true, std::memory_order_release); }
 void usage() {
     std::fprintf(
         stderr,
-        "usage: secserve [--algo NAME] [--port N] [--backend NAME] [--list]\n"
+        "usage: secserve [--algo NAME] [--port N] [--backend NAME]\n"
+        "                [--pin POLICY] [--list]\n"
         "  --algo NAME     registry algorithm to serve (default SEC);\n"
         "                  any ALGO@scheme name, e.g. SEC@shard4\n"
         "  --port N        TCP port on 127.0.0.1 (default SEC_BENCH_PORT,\n"
         "                  else 0 = ephemeral; the bound port is printed)\n"
         "  --backend NAME  event backend (default SEC_BENCH_BACKEND, else\n"
         "                  epoll); iouring needs -DSEC_IOURING=ON\n"
+        "  --pin POLICY    pin the event-loop thread: none | compact |\n"
+        "                  scatter | smt (default SEC_BENCH_PIN, else none)\n"
         "  --list          print algorithms and backends, then exit\n"
-        "env: SEC_BENCH_PORT, SEC_BENCH_BACKEND (see secbench --list)\n");
+        "env: SEC_BENCH_PORT, SEC_BENCH_BACKEND, SEC_BENCH_PIN "
+        "(see secbench --list)\n");
 }
 
 bool parse_port(const char* v, unsigned& out) {
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
     std::string algo = "SEC";
     unsigned port = env.port;
     std::string backend = env.backend;
+    std::string pin = env.pin;
 
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -117,6 +123,19 @@ int main(int argc, char** argv) {
             backend = v;
             continue;
         }
+        if (arg == "--pin") {
+            const char* v = need_value();
+            if (v == nullptr) return 2;
+            if (!sec::topo::parse_pin_policy(v)) {
+                std::fprintf(stderr,
+                             "secserve: --pin '%s' must be none, compact, "
+                             "scatter, or smt\n",
+                             v);
+                return 2;
+            }
+            pin = v;
+            continue;
+        }
         std::fprintf(stderr, "secserve: unknown argument '%s'\n",
                      argv[i]);
         usage();
@@ -142,6 +161,8 @@ int main(int argc, char** argv) {
     sec::net::ServerConfig cfg;
     cfg.port = static_cast<std::uint16_t>(port);
     cfg.backend = backend;
+    cfg.pin = sec::topo::parse_pin_policy(pin).value_or(
+        sec::topo::PinPolicy::kNone);
     sec::net::SecServer server(std::move(stack), std::move(cfg));
     std::string err;
     if (!server.start(&err)) {

@@ -8,13 +8,17 @@
 // stacks — any ConcurrentContainer, SEC in the registry's SEC@shardK variants —
 // with
 //
-//   affinity   every thread owns a home shard derived from its small
-//              thread id (detail::tid()). Ids are dense and recycled, so
-//              the identity hash (id mod K) is both perfectly balanced and
-//              stable for the thread's lifetime; a multiplicative mix would
-//              only decorrelate adversarial id patterns the thread registry
-//              never produces, at the price of real imbalance on small
-//              thread counts.
+//   affinity   every thread owns a home shard. A thread pinned by an
+//              exec::WorkerPool placement policy maps its L3 cache domain
+//              to a shard (domain mod K), so all threads sharing an L3
+//              share a home shard and the shard's combiner handoffs stay
+//              inside one cache. Unpinned threads derive the home from
+//              their small thread id (detail::tid()): ids are dense and
+//              recycled, so the identity hash (id mod K) is both perfectly
+//              balanced and stable for the thread's lifetime; a
+//              multiplicative mix would only decorrelate adversarial id
+//              patterns the thread registry never produces, at the price
+//              of real imbalance on small thread counts.
 //   stealing   pushes always hit the home shard. A pop that finds its home
 //              shard empty probes the other shards round-robin from
 //              home + 1, bounded by ShardConfig::steal_probes, before
@@ -48,6 +52,7 @@
 #include "core/common.hpp"
 #include "core/config.hpp"
 #include "core/stack_concept.hpp"
+#include "exec/placement.hpp"
 
 namespace sec::shard {
 
@@ -147,14 +152,19 @@ public:
         return *shards_[s].inner;
     }
 
-    // Home shard of the calling thread — fixed for the thread's lifetime.
+    // Home shard of the calling thread — fixed for the thread's lifetime
+    // (an exec::WorkerPool pin happens before the worker body runs, and an
+    // unpinned thread's tid is stable). L3-domain mapping when pinned, tid
+    // hash otherwise; see `affinity` in the header comment.
     std::size_t home_shard() const noexcept {
+        const int l3 = exec::this_thread_placement().l3;
+        if (l3 >= 0) return static_cast<std::size_t>(l3) % cfg_.num_shards;
         return detail::tid() % cfg_.num_shards;
     }
 
     bool push(const value_type& v) {
         const std::size_t id = detail::tid();
-        const std::size_t home = id % cfg_.num_shards;
+        const std::size_t home = home_shard();
         const bool ok = shards_[home].inner->push(v);
         if (ok && id < cfg_.max_threads) {
             bump(counters_[id].push_by_shard[home]);
@@ -164,7 +174,7 @@ public:
 
     std::optional<value_type> pop() {
         const std::size_t id = detail::tid();
-        const std::size_t home = id % cfg_.num_shards;
+        const std::size_t home = home_shard();
         Counters* c = id < cfg_.max_threads ? &counters_[id] : nullptr;
         // The sweep exists for the imbalanced minority of pops; the home
         // shard serving is the design's steady state (affinity).
@@ -198,7 +208,7 @@ public:
     }
 
     std::optional<value_type> peek() const {
-        const std::size_t home = detail::tid() % cfg_.num_shards;
+        const std::size_t home = home_shard();
         if (auto v = shards_[home].inner->peek()) return v;
         std::size_t s = home;
         for (std::size_t i = 1; i <= probe_bound_; ++i) {

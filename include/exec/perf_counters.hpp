@@ -1,0 +1,85 @@
+// exec/perf_counters.hpp — per-worker hardware counters via
+// perf_event_open, the evidence layer behind the perf trajectory: a Mops
+// delta with no cycles/instructions/LLC-miss context can't distinguish "the
+// combiner got smarter" from "the machine got faster".
+//
+// One PerfGroup per worker thread: a three-event group (cycles leader,
+// instructions, LLC misses) read atomically with PERF_FORMAT_GROUP so the
+// three numbers describe the same span. Everything degrades gracefully —
+// CI containers deny the syscall (EPERM under the default seccomp profile,
+// or perf_event_paranoid), and SEC_PERF_DISABLE=1 forces the denied path
+// for tests — open() just returns false and every sample reads as invalid
+// zeros. Callers aggregate with PerfTotals and check any() before
+// printing, so the unpinned/denied path emits nothing rather than zeros
+// masquerading as measurements.
+#pragma once
+
+#include <cstdint>
+
+namespace sec::exec {
+
+// One worker's counter readings over one measured span.
+struct PerfSample {
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_misses = 0;
+    bool valid = false;  // false: syscall denied / group never opened
+};
+
+// Aggregate over workers (and over repeat runs). `sampled` counts workers
+// that contributed a valid sample — zero means the environment denied the
+// syscall everywhere and the totals are meaningless.
+struct PerfTotals {
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_misses = 0;
+    unsigned sampled = 0;
+
+    bool any() const noexcept { return sampled > 0; }
+
+    void add(const PerfSample& s) noexcept {
+        if (!s.valid) return;
+        cycles += s.cycles;
+        instructions += s.instructions;
+        llc_misses += s.llc_misses;
+        ++sampled;
+    }
+    void merge(const PerfTotals& o) noexcept {
+        cycles += o.cycles;
+        instructions += o.instructions;
+        llc_misses += o.llc_misses;
+        sampled += o.sampled;
+    }
+};
+
+// The calling thread's counter group. Not thread-safe; each worker owns
+// its own, counting that thread only (inherit off).
+class PerfGroup {
+public:
+    PerfGroup() = default;
+    ~PerfGroup();
+    PerfGroup(const PerfGroup&) = delete;
+    PerfGroup& operator=(const PerfGroup&) = delete;
+
+    // Open the group on the calling thread. false when the kernel refuses
+    // (EPERM/EACCES/ENOSYS, paranoid sysctl) or SEC_PERF_DISABLE is set in
+    // the environment; the group is then permanently unavailable and
+    // start()/stop_and_read() are harmless no-ops yielding invalid samples.
+    bool open();
+    bool available() const noexcept { return leader_ >= 0; }
+
+    // Reset + enable the group (start of the measured span).
+    void start();
+    // Disable + read (end of the span). Invalid when unavailable or the
+    // read fails.
+    PerfSample stop_and_read();
+
+private:
+    void close_all();
+
+    int leader_ = -1;       // cycles; -1 = unavailable
+    int instructions_ = -1;
+    int llc_ = -1;
+};
+
+}  // namespace sec::exec

@@ -1,0 +1,123 @@
+// exec/topology.hpp — sec::topo: what the machine looks like, and where
+// workers should go.
+//
+// The paper's combining/elimination wins depend on WHICH threads share
+// caches: two workers in one L3 domain trade a combiner handoff through a
+// shared cache line, two workers on different sockets trade it through the
+// interconnect. Topology parses the kernel's description of that layout
+// (/sys/devices/system/cpu: topology/{package_id,core_id,
+// thread_siblings_list} per cpu, cache/index*/shared_cpu_list for the L3
+// domains) into dense logical-cpu → {package, core, L3, SMT-rank} maps, and
+// turns a placement POLICY plus a worker count into a concrete cpu
+// assignment:
+//
+//   none      no pinning; workers land wherever the scheduler puts them
+//             (the historical behaviour, and the CI default)
+//   compact   fill neighbouring capacity first: SMT siblings of one core,
+//             then cores of one L3 domain, then the next domain/package —
+//             maximises cache sharing, the combining-friendly layout
+//   scatter   round-robin workers across packages (compact within each) —
+//             maximises per-worker cache/bandwidth, the combining-hostile
+//             contrast point
+//   smt       ("smt-aware") one worker per physical core first, compact
+//             order, SMT siblings only once every core has one — isolates
+//             the SMT-sharing effect from the cache-sharing effect
+//
+// Hosts where sysfs is absent or unreadable (containers mounting nothing
+// under /sys) fall back to a synthetic flat topology — every cpu its own
+// core, one package, one L3 domain — so plans still exist and pinning
+// degrades to "pin worker t to cpu t". Tests parse canned fixture trees via
+// parse(root) instead of mocking.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sec::topo {
+
+enum class PinPolicy {
+    kNone,
+    kCompact,
+    kScatter,
+    kSmtAware,
+};
+
+// "none" / "compact" / "scatter" / "smt" (alias "smt-aware") → policy;
+// nullopt on anything else. Callers reject loudly — a typo must not
+// silently run unpinned.
+std::optional<PinPolicy> parse_pin_policy(std::string_view name) noexcept;
+std::string_view pin_policy_name(PinPolicy policy) noexcept;
+
+// One online logical cpu. Indices other than `cpu` are dense renumberings
+// (0..n-1 in first-appearance order), not raw sysfs ids — fixture trees and
+// real machines produce comparable maps.
+struct CpuInfo {
+    unsigned cpu = 0;  // OS logical cpu id
+    int package = 0;   // physical package (socket), dense
+    int core = 0;      // physical core, dense across packages
+    int l3 = 0;        // L3 cache domain, dense
+    int smt = 0;       // rank among the core's SMT siblings (0 = first)
+};
+
+class Topology {
+public:
+    // The host's topology, detected once and cached for the process.
+    static const Topology& system();
+
+    // Parse the real sysfs tree; synthetic flat fallback when unreadable.
+    static Topology detect();
+
+    // Parse a cpu directory tree rooted at `root` (the real
+    // /sys/devices/system/cpu or a canned test fixture). nullopt when the
+    // tree yields no usable cpu, with a one-line reason in *err.
+    static std::optional<Topology> parse(const std::string& root,
+                                         std::string* err = nullptr);
+
+    // The canned fallback: `cpus` single-thread cores in one package and
+    // one L3 domain.
+    static Topology flat(unsigned cpus);
+
+    unsigned num_cpus() const noexcept {
+        return static_cast<unsigned>(cpus_.size());
+    }
+    unsigned packages() const noexcept { return packages_; }
+    unsigned cores() const noexcept { return cores_; }
+    unsigned cores_per_package() const noexcept {
+        return packages_ > 0 ? cores_ / packages_ : cores_;
+    }
+    // Max SMT siblings per core (1 = no SMT anywhere).
+    unsigned smt_width() const noexcept { return smt_width_; }
+    unsigned l3_domains() const noexcept { return l3_domains_; }
+    // True for the flat() fallback — metadata records that the maps are
+    // synthesized, not measured.
+    bool synthetic() const noexcept { return synthetic_; }
+
+    // By position (0..num_cpus) — iteration order is ascending OS cpu id.
+    const CpuInfo& cpu_at(std::size_t i) const noexcept { return cpus_[i]; }
+    // By OS cpu id; nullptr for offline/unknown cpus.
+    const CpuInfo* find_cpu(unsigned os_cpu) const noexcept;
+
+    // The cpu assignment for `workers` workers under `policy`: slot t is
+    // worker t's OS cpu id. Empty for kNone (and for a topology with no
+    // cpus). More workers than cpus wrap around the policy's cpu order.
+    // `offset` skips the first `offset` slots of that order — two pools
+    // sharing one machine (service producers + consumers) plan disjoint
+    // slots by offsetting the second pool by the first pool's size.
+    std::vector<int> plan(PinPolicy policy, unsigned workers,
+                          unsigned offset = 0) const;
+
+private:
+    void derive();  // dense indices + the summary counts
+
+    std::vector<CpuInfo> cpus_;  // ascending OS cpu id
+    unsigned packages_ = 0;
+    unsigned cores_ = 0;
+    unsigned smt_width_ = 1;
+    unsigned l3_domains_ = 0;
+    bool synthetic_ = false;
+};
+
+}  // namespace sec::topo

@@ -17,11 +17,11 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/stack_concept.hpp"
+#include "exec/worker_pool.hpp"
 #include "net/event_loop.hpp"
 #include "net/protocol.hpp"
 
@@ -31,6 +31,10 @@ struct ServerConfig {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
     std::string backend{};   // "" = "epoll"; see make_event_backend
+    // Event-loop placement (`secserve --pin`): the loop thread runs as a
+    // single-worker exec pool, so it takes the first cpu of the policy's
+    // plan. kNone = unpinned, the historical behaviour.
+    topo::PinPolicy pin = topo::PinPolicy::kNone;
 };
 
 // Event-loop-thread counters, readable from any thread while the server
@@ -92,7 +96,10 @@ private:
     int wake_fd_ = -1;  // eventfd: stop() pokes the blocked wait()
     std::uint16_t bound_port_ = 0;
     std::unordered_map<int, Conn> conns_;
-    std::thread thread_;
+    // Single-worker pool instead of a bare std::thread: the loop thread is
+    // tid-registered and pinnable like every other worker (prereq for the
+    // loop-per-shard follow-on).
+    std::unique_ptr<exec::WorkerPool> pool_;
     std::atomic<bool> running_{false};
     std::atomic<bool> stop_{false};
 

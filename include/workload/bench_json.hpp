@@ -56,7 +56,16 @@ struct Metadata {
     std::string build_type;  // CMAKE_BUILD_TYPE
     bool march_native = false;  // SEC_NATIVE build (-march=native)
     unsigned cores = 0;         // hardware_concurrency at run time
+    // Topology half (build_metadata() fills these from Topology::system()).
+    // All zero in snapshots written before the exec/topo layer existed —
+    // the parser defaults them, and the compare skips zero baseline fields
+    // so old snapshots never warn spuriously.
+    unsigned packages = 0;           // physical sockets
+    unsigned cores_per_package = 0;  // physical cores per socket
+    unsigned smt_width = 0;          // max SMT siblings per core (1 = none)
+    unsigned l3_domains = 0;         // distinct L3 cache domains
     // Run half (secbench fills these from the effective configuration).
+    std::string pin;        // placement policy name ("none" when unpinned)
     std::string scenarios;  // comma-joined scenario names, run order
     std::string algos;      // comma-joined algorithm selection
     std::string reclaim;    // --reclaim scheme ("" = default bindings)
@@ -125,6 +134,16 @@ struct CompareResult {
 
 CompareResult compare(const Snapshot& baseline, const Snapshot& current,
                       double tolerance_pct);
+
+// One-line description of how `current`'s topology differs from
+// `baseline`'s (packages / cores-per-package / SMT width / L3 domains /
+// pin policy), or "" when they agree. Baseline fields that are zero or
+// empty (snapshots written before these fields existed) never mismatch.
+// The compare WARNS on a non-empty result — a cross-machine baseline is
+// by design comparable after scale normalization, but a topology shift is
+// exactly the context a surprising per-cell delta needs.
+std::string topology_mismatch(const Metadata& baseline,
+                              const Metadata& current);
 
 // Human-readable comparison report (secbench prints it to stdout; the CI
 // log is the "loud" half of the loud-but-soft gate).

@@ -14,6 +14,12 @@
 //                          port
 //   SEC_BENCH_BACKEND      sec::net event backend: "epoll" (default) or
 //                          "iouring" (-DSEC_IOURING=ON builds)
+//   SEC_BENCH_PIN          worker placement policy: "none" (default),
+//                          "compact", "scatter", or "smt" — see
+//                          exec/topology.hpp
+//   SEC_BENCH_COUNTERS     0 disables per-worker perf_event counter
+//                          groups (default on; counters silently yield no
+//                          data where the syscall is denied anyway)
 //
 // Values that don't parse as clean unsigned integers (trailing junk, signs,
 // "abc") are rejected with a stderr warning and the default kept — never
@@ -41,6 +47,13 @@ struct EnvConfig {
     // external server": net_service spawns its own on an ephemeral port.
     unsigned port = 0;
     std::string backend{};  // "" = the default backend ("epoll")
+    // Placement policy name (SEC_BENCH_PIN / --pin), pre-validated against
+    // topo::parse_pin_policy. "" = "none" = unpinned.
+    std::string pin{};
+    // Per-worker perf_event counter groups (SEC_BENCH_COUNTERS). Default
+    // on: the groups cost nothing where the syscall is denied and a few
+    // rdpmc-backed reads where it isn't.
+    bool counters = true;
 
     static EnvConfig load();
 };

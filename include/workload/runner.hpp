@@ -16,7 +16,6 @@
 #pragma once
 
 #include <atomic>
-#include <barrier>
 #include <chrono>
 #include <cstdint>
 #include <thread>
@@ -25,6 +24,7 @@
 #include "core/common.hpp"
 #include "core/op_mix.hpp"
 #include "core/stack_concept.hpp"
+#include "exec/worker_pool.hpp"
 #include "workload/histogram.hpp"
 
 namespace sec::bench {
@@ -44,11 +44,23 @@ struct RunConfig {
     // worker t draws from phase_seed(seed, t, run), so two runs with the
     // same seed replay the same op sequences for A/B comparisons.
     std::uint64_t seed = 0;
+    // Worker placement (`--pin` / SEC_BENCH_PIN). kNone reproduces the
+    // historical unpinned threads; anything else pins workers per the
+    // policy's plan over the host topology (best-effort — a container that
+    // refuses affinity runs unpinned).
+    topo::PinPolicy pin = topo::PinPolicy::kNone;
+    // Per-worker hardware counter groups over the measured span; degrades
+    // to no data (RunResult::perf.any() == false) when perf_event_open is
+    // denied, as in CI containers.
+    bool counters = false;
 };
 
 struct RunResult {
     double mops = 0;  // million operations per second, mean across runs
     std::uint64_t total_ops = 0;  // summed across runs
+    // Counter totals over the measured spans, summed across workers and
+    // runs. Check perf.any() before deriving per-op rates.
+    exec::PerfTotals perf;
 };
 
 // This worker's slice of a prefill divided across `threads` workers
@@ -62,27 +74,12 @@ inline std::size_t prefill_share(std::size_t prefill, unsigned threads,
 
 // ---- reclamation hooks -----------------------------------------------------
 
+// The hook templates themselves moved to exec/worker_pool.hpp (the worker
+// lifecycle layer owns the contract); these aliases keep every phase_*
+// call site spelled the same.
 namespace detail {
-
-// Per-iteration quiescence announcement: the point where QSBR-backed stacks
-// tell their domain "this thread holds no references". Compiles to nothing
-// for stacks without the hook (CC/FC) and for reclaimers where quiesce() is
-// a no-op (EBR/HP/leaky).
-template <class S>
-inline void quiesce_hook(S& stack) {
-    if constexpr (requires { stack.quiesce(); }) stack.quiesce();
-}
-
-// Phase-boundary withdrawal: a worker that stops operating must leave the
-// QSBR online set or it blocks reclamation forever. Every phase_* function
-// calls this on the way out.
-template <class S>
-inline void offline_hook(S& stack) {
-    if constexpr (requires { stack.reclaim_offline(); }) {
-        stack.reclaim_offline();
-    }
-}
-
+using sec::exec::offline_hook;
+using sec::exec::quiesce_hook;
 }  // namespace detail
 
 // ---- the phases ------------------------------------------------------------
@@ -387,32 +384,35 @@ RunResult run_throughput(Factory&& make, const RunConfig& cfg) {
         // dependent amount.
         std::vector<CacheAligned<Clock::time_point>> begins(cfg.threads);
         std::vector<CacheAligned<Clock::time_point>> ends(cfg.threads);
-        std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
 
-        std::vector<std::thread> workers;
-        workers.reserve(cfg.threads);
-        for (unsigned t = 0; t < cfg.threads; ++t) {
-            workers.emplace_back([&, t, run] {
-                PhaseArgs args;
-                args.value_range = cfg.value_range;
-                args.mix = cfg.mix;
-                // Each worker loads its share of the prefill so deep
-                // prefills parallelise and (for TSI) spread across pools.
-                args.seed = phase_seed(cfg.seed, t, run, 1);
-                phase_prefill(stack, prefill_share(cfg.prefill, cfg.threads, t),
-                              args);
-                sync.arrive_and_wait();
-                *begins[t] = Clock::now();
-                args.seed = phase_seed(cfg.seed, t, run);
-                *ops[t] = phase_mixed_until(stack, stop, args);
-                *ends[t] = Clock::now();
-            });
-        }
+        exec::PoolOptions popts;
+        popts.pin = cfg.pin;
+        popts.counters = cfg.counters;
+        exec::WorkerPool pool(cfg.threads, popts);
+        pool.start([&, run](exec::WorkerContext& wc) {
+            const unsigned t = wc.index;
+            PhaseArgs args;
+            args.value_range = cfg.value_range;
+            args.mix = cfg.mix;
+            // Each worker loads its share of the prefill so deep
+            // prefills parallelise and (for TSI) spread across pools.
+            args.seed = phase_seed(cfg.seed, t, run, 1);
+            phase_prefill(stack, prefill_share(cfg.prefill, cfg.threads, t),
+                          args);
+            wc.sync();
+            // Counters cover the measured span only, not the prefill.
+            wc.counters_restart();
+            *begins[t] = Clock::now();
+            args.seed = phase_seed(cfg.seed, t, run);
+            *ops[t] = phase_mixed_until(stack, stop, args);
+            *ends[t] = Clock::now();
+        });
 
-        sync.arrive_and_wait();
+        pool.sync();
         std::this_thread::sleep_for(cfg.duration);
         stop.store(true, std::memory_order_relaxed);
-        for (auto& w : workers) w.join();
+        pool.join();
+        result.perf.merge(pool.counters());
 
         std::uint64_t total = 0;
         for (const auto& c : ops) total += *c;

@@ -1,17 +1,24 @@
 // any_runner.cpp — timed-window, latency, and churn runners over AnyStack.
-// Thread plumbing mirrors the statically-typed run_throughput; the measured
-// loops themselves live behind one virtual phase call per worker (see
-// core/stack_concept.hpp).
+// Worker lifecycle (spawn, tid registration, pinning, counters, join) is
+// sec::exec::WorkerPool's; the measured loops themselves live behind one
+// virtual phase call per worker (see core/stack_concept.hpp).
 #include "workload/any_runner.hpp"
 
-#include <barrier>
 #include <thread>
 #include <vector>
 
 #include "core/common.hpp"
+#include "exec/worker_pool.hpp"
 
 namespace sec::bench {
 namespace {
+
+exec::PoolOptions pool_options(const RunConfig& cfg) {
+    exec::PoolOptions opts;
+    opts.pin = cfg.pin;
+    opts.counters = cfg.counters;
+    return opts;
+}
 
 // One timed window on `stack`; accumulates into `result`. Workers time
 // their own measured span (one_phased_round's trick, below): ops completed
@@ -26,29 +33,28 @@ void one_round(AnyStack& stack, const RunConfig& cfg, unsigned run,
     std::vector<CacheAligned<std::uint64_t>> ops(cfg.threads);
     std::vector<CacheAligned<Clock::time_point>> begins(cfg.threads);
     std::vector<CacheAligned<Clock::time_point>> ends(cfg.threads);
-    std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
 
-    std::vector<std::thread> workers;
-    workers.reserve(cfg.threads);
-    for (unsigned t = 0; t < cfg.threads; ++t) {
-        workers.emplace_back([&, t, run] {
-            PhaseArgs args;
-            args.value_range = cfg.value_range;
-            args.mix = cfg.mix;
-            args.seed = phase_seed(cfg.seed, t, run, 1);
-            stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
-            sync.arrive_and_wait();
-            *begins[t] = Clock::now();
-            args.seed = phase_seed(cfg.seed, t, run);
-            *ops[t] = stack.mixed_until(stop, args);
-            *ends[t] = Clock::now();
-        });
-    }
+    exec::WorkerPool pool(cfg.threads, pool_options(cfg));
+    pool.start([&, run](exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        PhaseArgs args;
+        args.value_range = cfg.value_range;
+        args.mix = cfg.mix;
+        args.seed = phase_seed(cfg.seed, t, run, 1);
+        stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
+        wc.sync();
+        wc.counters_restart();  // measured span only, not the prefill
+        *begins[t] = Clock::now();
+        args.seed = phase_seed(cfg.seed, t, run);
+        *ops[t] = stack.mixed_until(stop, args);
+        *ends[t] = Clock::now();
+    });
 
-    sync.arrive_and_wait();
+    pool.sync();
     std::this_thread::sleep_for(cfg.duration);
     stop.store(true, std::memory_order_relaxed);
-    for (auto& w : workers) w.join();
+    pool.join();
+    result.perf.merge(pool.counters());
 
     std::uint64_t total = 0;
     for (const auto& c : ops) total += *c;
@@ -81,37 +87,36 @@ void one_phased_round(AnyStack& stack, const RunConfig& cfg,
     std::vector<CacheAligned<std::uint64_t>> ops(cfg.threads);
     std::vector<CacheAligned<Clock::time_point>> begins(cfg.threads);
     std::vector<CacheAligned<Clock::time_point>> ends(cfg.threads);
-    std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
 
-    std::vector<std::thread> workers;
-    workers.reserve(cfg.threads);
-    for (unsigned t = 0; t < cfg.threads; ++t) {
-        workers.emplace_back([&, t, run] {
-            PhaseArgs args;
-            args.value_range = cfg.value_range;
-            args.seed = phase_seed(cfg.seed, t, run, 1);
-            stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
-            sync.arrive_and_wait();
-            *begins[t] = Clock::now();
-            std::uint64_t local = 0;
-            for (std::size_t p = 0; p < n; ++p) {
-                args.mix = phases[p];
-                // Distinct salt per sub-window: each phase replays its own
-                // deterministic op sequence under --seed.
-                args.seed = phase_seed(cfg.seed, t, run, 2 + p);
-                local += stack.mixed_until(stops[p], args);
-            }
-            *ends[t] = Clock::now();
-            *ops[t] = local;
-        });
-    }
+    exec::WorkerPool pool(cfg.threads, pool_options(cfg));
+    pool.start([&, run](exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        PhaseArgs args;
+        args.value_range = cfg.value_range;
+        args.seed = phase_seed(cfg.seed, t, run, 1);
+        stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
+        wc.sync();
+        wc.counters_restart();
+        *begins[t] = Clock::now();
+        std::uint64_t local = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+            args.mix = phases[p];
+            // Distinct salt per sub-window: each phase replays its own
+            // deterministic op sequence under --seed.
+            args.seed = phase_seed(cfg.seed, t, run, 2 + p);
+            local += stack.mixed_until(stops[p], args);
+        }
+        *ends[t] = Clock::now();
+        *ops[t] = local;
+    });
 
-    sync.arrive_and_wait();
+    pool.sync();
     for (std::size_t p = 0; p < n; ++p) {
         std::this_thread::sleep_for(cfg.duration / n);
         stops[p].store(true, std::memory_order_relaxed);
     }
-    for (auto& w : workers) w.join();
+    pool.join();
+    result.perf.merge(pool.counters());
 
     std::uint64_t total = 0;
     for (const auto& c : ops) total += *c;
@@ -168,26 +173,24 @@ LatencyHistogram run_latency_any(AnyStack& stack, const RunConfig& cfg) {
     if (cfg.threads == 0) return merged;
     std::atomic<bool> stop{false};
     std::vector<CacheAligned<LatencyHistogram>> hists(cfg.threads);
-    std::barrier sync(static_cast<std::ptrdiff_t>(cfg.threads) + 1);
 
-    std::vector<std::thread> workers;
-    workers.reserve(cfg.threads);
-    for (unsigned t = 0; t < cfg.threads; ++t) {
-        workers.emplace_back([&, t] {
-            PhaseArgs args;
-            args.value_range = cfg.value_range;
-            args.mix = cfg.mix;
-            args.seed = phase_seed(cfg.seed, t, 0, 1);
-            stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
-            sync.arrive_and_wait();
-            args.seed = phase_seed(cfg.seed, t, 0);
-            stack.timed_until(stop, args, *hists[t]);
-        });
-    }
-    sync.arrive_and_wait();
+    exec::WorkerPool pool(cfg.threads, pool_options(cfg));
+    pool.start([&](exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        PhaseArgs args;
+        args.value_range = cfg.value_range;
+        args.mix = cfg.mix;
+        args.seed = phase_seed(cfg.seed, t, 0, 1);
+        stack.prefill(prefill_share(cfg.prefill, cfg.threads, t), args);
+        wc.sync();
+        wc.counters_restart();
+        args.seed = phase_seed(cfg.seed, t, 0);
+        stack.timed_until(stop, args, *hists[t]);
+    });
+    pool.sync();
     std::this_thread::sleep_for(cfg.duration);
     stop.store(true, std::memory_order_relaxed);
-    for (auto& w : workers) w.join();
+    pool.join();
 
     for (const auto& h : hists) merged.merge_from(*h);
     return merged;
@@ -198,28 +201,23 @@ double run_churn_any(AnyStack& stack, unsigned threads,
                      std::uint64_t seed) {
     if (threads == 0) return 0.0;
     using Clock = std::chrono::steady_clock;
-    // Workers synchronise on a barrier (thread spawn cost must not deflate
-    // smoke-scale numbers) and time their own measured phase: a clock read
-    // on the coordinating thread can be descheduled behind the workers on
-    // an oversubscribed host, shrinking the window to near zero.
-    std::barrier sync(static_cast<std::ptrdiff_t>(threads));
+    // Workers rendezvous among themselves (thread spawn cost must not
+    // deflate smoke-scale numbers) and time their own measured phase: a
+    // clock read on the coordinating thread can be descheduled behind the
+    // workers on an oversubscribed host, shrinking the window to near zero.
     std::vector<CacheAligned<Clock::time_point>> begins(threads);
     std::vector<CacheAligned<Clock::time_point>> ends(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-        workers.emplace_back([&, t] {
-            PhaseArgs args;
-            args.value_range = value_range;
-            args.mix = kUpdateHeavy;  // balanced push/pop churn
-            args.seed = phase_seed(seed, t, 0);
-            sync.arrive_and_wait();
-            *begins[t] = Clock::now();
-            stack.mixed_ops(ops_per_thread, args);
-            *ends[t] = Clock::now();
-        });
-    }
-    for (auto& w : workers) w.join();
+    exec::WorkerPool::run(threads, [&](exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        PhaseArgs args;
+        args.value_range = value_range;
+        args.mix = kUpdateHeavy;  // balanced push/pop churn
+        args.seed = phase_seed(seed, t, 0);
+        wc.sync();
+        *begins[t] = Clock::now();
+        stack.mixed_ops(ops_per_thread, args);
+        *ends[t] = Clock::now();
+    });
     Clock::time_point start = *begins[0];
     Clock::time_point end = *ends[0];
     for (unsigned t = 1; t < threads; ++t) {

@@ -13,6 +13,8 @@
 #include <thread>
 #include <utility>
 
+#include "exec/topology.hpp"
+
 // Build facts injected per-source by CMake (see set_source_files_properties
 // in CMakeLists.txt); the fallbacks keep non-CMake builds compiling.
 #ifndef SEC_GIT_SHA
@@ -342,6 +344,11 @@ Metadata build_metadata() {
     m.compiler = "unknown";
 #endif
     m.cores = std::thread::hardware_concurrency();
+    const topo::Topology& t = topo::Topology::system();
+    m.packages = t.packages();
+    m.cores_per_package = t.cores_per_package();
+    m.smt_width = t.smt_width();
+    m.l3_domains = t.l3_domains();
     return m;
 }
 
@@ -366,6 +373,17 @@ bool write_snapshot(const Snapshot& snap, const std::string& path,
     append_kv(out, "march_native", m.march_native);
     line(",\n    ");
     append_kv(out, "cores", static_cast<double>(m.cores));
+    line(",\n    ");
+    append_kv(out, "packages", static_cast<double>(m.packages));
+    line(",\n    ");
+    append_kv(out, "cores_per_package",
+              static_cast<double>(m.cores_per_package));
+    line(",\n    ");
+    append_kv(out, "smt_width", static_cast<double>(m.smt_width));
+    line(",\n    ");
+    append_kv(out, "l3_domains", static_cast<double>(m.l3_domains));
+    line(",\n    ");
+    append_kv(out, "pin", m.pin);
     line(",\n    ");
     append_kv(out, "scenarios", m.scenarios);
     line(",\n    ");
@@ -456,6 +474,14 @@ bool read_snapshot(const std::string& path, Snapshot& out, std::string* err) {
         m.build_type = get_str(*meta, "build_type");
         m.march_native = get_bool(*meta, "march_native");
         m.cores = static_cast<unsigned>(get_num(*meta, "cores"));
+        // Topology fields default to zero / "" so pre-exec-layer snapshots
+        // stay readable (and never warn in topology_mismatch).
+        m.packages = static_cast<unsigned>(get_num(*meta, "packages"));
+        m.cores_per_package =
+            static_cast<unsigned>(get_num(*meta, "cores_per_package"));
+        m.smt_width = static_cast<unsigned>(get_num(*meta, "smt_width"));
+        m.l3_domains = static_cast<unsigned>(get_num(*meta, "l3_domains"));
+        m.pin = get_str(*meta, "pin");
         m.scenarios = get_str(*meta, "scenarios");
         m.algos = get_str(*meta, "algos");
         m.reclaim = get_str(*meta, "reclaim");
@@ -580,6 +606,30 @@ CompareResult compare(const Snapshot& baseline, const Snapshot& current,
     }
     r.extra = static_cast<unsigned>(cur.size());
     return r;
+}
+
+std::string topology_mismatch(const Metadata& baseline,
+                              const Metadata& current) {
+    std::string out;
+    const auto field = [&out](const char* name, unsigned base, unsigned cur) {
+        if (base == 0 || base == cur) return;  // zero = pre-topology snapshot
+        if (!out.empty()) out += ", ";
+        out += name;
+        out += ' ';
+        out += std::to_string(base);
+        out += " -> ";
+        out += std::to_string(cur);
+    };
+    field("packages", baseline.packages, current.packages);
+    field("cores_per_package", baseline.cores_per_package,
+          current.cores_per_package);
+    field("smt_width", baseline.smt_width, current.smt_width);
+    field("l3_domains", baseline.l3_domains, current.l3_domains);
+    if (!baseline.pin.empty() && baseline.pin != current.pin) {
+        if (!out.empty()) out += ", ";
+        out += "pin '" + baseline.pin + "' -> '" + current.pin + "'";
+    }
+    return out;
 }
 
 void print_compare(const CompareResult& result, std::FILE* out) {

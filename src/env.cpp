@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/common.hpp"
+#include "exec/topology.hpp"
 #include "net/event_loop.hpp"
 
 namespace sec::bench {
@@ -168,6 +169,18 @@ EnvConfig EnvConfig::load() {
             cfg.backend = v;
         }
     }
+    if (const char* v = get_env("SEC_BENCH_PIN"); v != nullptr && *v) {
+        if (!topo::parse_pin_policy(v)) {
+            std::fprintf(stderr,
+                         "secbench: ignoring SEC_BENCH_PIN='%s' (known "
+                         "policies: none, compact, scatter, smt); running "
+                         "unpinned\n",
+                         v);
+        } else {
+            cfg.pin = v;
+        }
+    }
+    cfg.counters = env_unsigned("SEC_BENCH_COUNTERS", 1) != 0;
     return cfg;
 }
 
@@ -184,11 +197,12 @@ void print_preamble(std::string_view bench_name, const EnvConfig& cfg) {
     std::fprintf(stderr,
                  "== %.*s ==\n"
                  "hw_threads=%u duration_ms=%u runs=%u prefill=%zu "
-                 "value_range=%zu seed=%llu threads=[%s]%s\n",
+                 "value_range=%zu seed=%llu threads=[%s] pin=%s%s\n",
                  static_cast<int>(bench_name.size()), bench_name.data(),
                  std::thread::hardware_concurrency(), cfg.duration_ms,
                  cfg.runs, cfg.prefill, cfg.value_range,
                  static_cast<unsigned long long>(cfg.seed), grid.c_str(),
+                 cfg.pin.empty() ? "none" : cfg.pin.c_str(),
                  env_unsigned("SEC_BENCH_PAPER", 0) ? " (paper mode)" : "");
 }
 

@@ -1,0 +1,109 @@
+// exec_perf.cpp — the raw perf_event_open plumbing behind
+// exec/perf_counters.hpp. glibc exposes no wrapper, so the group is built
+// with syscall(2) directly; every failure path collapses to "unavailable"
+// rather than erroring, because benchmark results must not depend on the
+// container's seccomp mood.
+#include "exec/perf_counters.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SEC_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#else
+#define SEC_HAVE_PERF_EVENT 0
+#endif
+
+namespace sec::exec {
+
+#if SEC_HAVE_PERF_EVENT
+
+namespace {
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.type = type;
+    attr.size = sizeof attr;
+    attr.config = config;
+    attr.disabled = group_fd < 0 ? 1 : 0;  // group toggles via the leader
+    attr.exclude_kernel = 1;               // works under paranoid=2
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    // this thread only, any cpu — follows the worker across migrations
+    return static_cast<int>(::syscall(__NR_perf_event_open, &attr, 0, -1,
+                                      group_fd, 0UL));
+}
+
+}  // namespace
+
+PerfGroup::~PerfGroup() { close_all(); }
+
+void PerfGroup::close_all() {
+    if (llc_ >= 0) ::close(llc_);
+    if (instructions_ >= 0) ::close(instructions_);
+    if (leader_ >= 0) ::close(leader_);
+    leader_ = instructions_ = llc_ = -1;
+}
+
+bool PerfGroup::open() {
+    if (leader_ >= 0) return true;
+    // Test hook: force the denied path even where the syscall would work.
+    if (const char* off = std::getenv("SEC_PERF_DISABLE");
+        off != nullptr && off[0] != '\0' && off[0] != '0') {
+        return false;
+    }
+    leader_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (leader_ < 0) {
+        leader_ = -1;
+        return false;
+    }
+    instructions_ =
+        perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, leader_);
+    llc_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, leader_);
+    if (instructions_ < 0 || llc_ < 0) {
+        // Partial groups (odd PMU multiplexing limits) aren't worth
+        // reporting: three numbers or none.
+        close_all();
+        return false;
+    }
+    return true;
+}
+
+void PerfGroup::start() {
+    if (leader_ < 0) return;
+    ::ioctl(leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfGroup::stop_and_read() {
+    PerfSample s;
+    if (leader_ < 0) return s;
+    ::ioctl(leader_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    // PERF_FORMAT_GROUP layout: nr, then one value per event in creation
+    // order (cycles, instructions, llc).
+    std::uint64_t buf[1 + 3] = {};
+    const ssize_t n = ::read(leader_, buf, sizeof buf);
+    if (n != static_cast<ssize_t>(sizeof buf) || buf[0] != 3) return s;
+    s.cycles = buf[1];
+    s.instructions = buf[2];
+    s.llc_misses = buf[3];
+    s.valid = true;
+    return s;
+}
+
+#else  // !SEC_HAVE_PERF_EVENT — non-Linux or headerless build: always deny.
+
+PerfGroup::~PerfGroup() = default;
+void PerfGroup::close_all() {}
+bool PerfGroup::open() { return false; }
+void PerfGroup::start() {}
+PerfSample PerfGroup::stop_and_read() { return {}; }
+
+#endif
+
+}  // namespace sec::exec

@@ -1,0 +1,300 @@
+// exec_topology.cpp — sysfs cpu-topology parsing and placement planning
+// (exec/topology.hpp). Pure file reading + sorting; no syscalls beyond
+// open/read, so the same code parses the live /sys tree and the canned
+// fixture trees the tests write.
+#include "exec/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <utility>
+
+namespace sec::topo {
+namespace {
+
+// Whole small file → string, without the trailing newline sysfs appends.
+// nullopt when the file is absent or unreadable.
+std::optional<std::string> read_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return std::nullopt;
+    std::string out;
+    char buf[256];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+        out.pop_back();
+    }
+    return out;
+}
+
+std::optional<long> read_long(const std::string& path) {
+    const auto text = read_file(path);
+    if (!text || text->empty()) return std::nullopt;
+    char* end = nullptr;
+    const long v = std::strtol(text->c_str(), &end, 10);
+    if (end == text->c_str()) return std::nullopt;
+    return v;
+}
+
+// Parse a sysfs cpu list ("0-3,8,10-11") into ascending cpu ids. Returns
+// an empty vector on malformed input — callers treat that as "unknown".
+std::vector<unsigned> parse_cpu_list(std::string_view text) {
+    std::vector<unsigned> out;
+    std::size_t i = 0;
+    auto number = [&](unsigned& v) -> bool {
+        if (i >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[i]))) {
+            return false;
+        }
+        unsigned long acc = 0;
+        while (i < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i]))) {
+            acc = acc * 10 + static_cast<unsigned long>(text[i] - '0');
+            ++i;
+        }
+        v = static_cast<unsigned>(acc);
+        return true;
+    };
+    while (i < text.size()) {
+        unsigned lo = 0;
+        if (!number(lo)) return {};
+        unsigned hi = lo;
+        if (i < text.size() && text[i] == '-') {
+            ++i;
+            if (!number(hi) || hi < lo) return {};
+        }
+        for (unsigned c = lo; c <= hi; ++c) out.push_back(c);
+        if (i < text.size()) {
+            if (text[i] != ',') return {};
+            ++i;
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::string cpu_dir(const std::string& root, unsigned cpu) {
+    return root + "/cpu" + std::to_string(cpu);
+}
+
+// The cpus to parse: the `online` list when present, else every cpuN
+// directory that has a topology/package_id (fixtures may omit `online`).
+std::vector<unsigned> online_cpus(const std::string& root) {
+    if (const auto text = read_file(root + "/online")) {
+        const std::vector<unsigned> cpus = parse_cpu_list(*text);
+        if (!cpus.empty()) return cpus;
+    }
+    std::vector<unsigned> cpus;
+    unsigned misses = 0;
+    for (unsigned c = 0; misses < 64; ++c) {  // cpu ids may have small holes
+        if (read_long(cpu_dir(root, c) + "/topology/package_id")) {
+            cpus.push_back(c);
+            misses = 0;
+        } else {
+            ++misses;
+        }
+    }
+    return cpus;
+}
+
+// The L3 domain key of one cpu: the shared_cpu_list of its level-3 cache,
+// canonicalized to the lowest cpu in the list. -1 when the tree has no L3
+// entry (callers fall back to the package as the domain).
+long l3_key(const std::string& root, unsigned cpu) {
+    for (unsigned idx = 0; idx < 10; ++idx) {
+        const std::string base =
+            cpu_dir(root, cpu) + "/cache/index" + std::to_string(idx);
+        const auto level = read_long(base + "/level");
+        if (!level) break;  // cache indices are dense; first gap ends them
+        if (*level != 3) continue;
+        if (const auto list = read_file(base + "/shared_cpu_list")) {
+            const std::vector<unsigned> cpus = parse_cpu_list(*list);
+            if (!cpus.empty()) return static_cast<long>(cpus.front());
+        }
+    }
+    return -1;
+}
+
+}  // namespace
+
+std::optional<PinPolicy> parse_pin_policy(std::string_view name) noexcept {
+    if (name == "none") return PinPolicy::kNone;
+    if (name == "compact") return PinPolicy::kCompact;
+    if (name == "scatter") return PinPolicy::kScatter;
+    if (name == "smt" || name == "smt-aware") return PinPolicy::kSmtAware;
+    return std::nullopt;
+}
+
+std::string_view pin_policy_name(PinPolicy policy) noexcept {
+    switch (policy) {
+        case PinPolicy::kCompact: return "compact";
+        case PinPolicy::kScatter: return "scatter";
+        case PinPolicy::kSmtAware: return "smt";
+        case PinPolicy::kNone: break;
+    }
+    return "none";
+}
+
+void Topology::derive() {
+    // Dense renumbering in first-appearance order over ascending cpu id:
+    // raw sysfs ids (package 0/1, core_id with per-socket gaps, L3 keyed by
+    // its lowest member) become 0..n-1 indices.
+    std::map<int, int> package_index;
+    std::map<std::pair<int, int>, int> core_index;  // (package raw, core raw)
+    std::map<int, int> l3_index;
+    unsigned width = 1;
+    std::map<int, int> smt_seen;  // dense core -> siblings assigned so far
+    for (CpuInfo& c : cpus_) {
+        const auto p = package_index.emplace(
+            c.package, static_cast<int>(package_index.size()));
+        const auto k = core_index.emplace(
+            std::make_pair(c.package, c.core),
+            static_cast<int>(core_index.size()));
+        const auto d =
+            l3_index.emplace(c.l3, static_cast<int>(l3_index.size()));
+        c.package = p.first->second;
+        c.core = k.first->second;
+        c.l3 = d.first->second;
+        c.smt = smt_seen[c.core]++;
+        width = std::max(width, static_cast<unsigned>(c.smt + 1));
+    }
+    packages_ = static_cast<unsigned>(package_index.size());
+    cores_ = static_cast<unsigned>(core_index.size());
+    l3_domains_ = static_cast<unsigned>(l3_index.size());
+    smt_width_ = width;
+}
+
+Topology Topology::flat(unsigned cpus) {
+    Topology t;
+    t.synthetic_ = true;
+    t.cpus_.reserve(cpus);
+    for (unsigned c = 0; c < cpus; ++c) {
+        t.cpus_.push_back(CpuInfo{c, 0, static_cast<int>(c), 0, 0});
+    }
+    t.derive();
+    return t;
+}
+
+std::optional<Topology> Topology::parse(const std::string& root,
+                                        std::string* err) {
+    Topology t;
+    const std::vector<unsigned> cpus = online_cpus(root);
+    if (cpus.empty()) {
+        if (err != nullptr) *err = "no cpus under '" + root + "'";
+        return std::nullopt;
+    }
+    for (unsigned c : cpus) {
+        const std::string topo = cpu_dir(root, c) + "/topology";
+        const auto package = read_long(topo + "/package_id");
+        const auto core = read_long(topo + "/core_id");
+        if (!package || !core) {
+            // A cpu in `online` without topology files (mid-hotplug, or a
+            // sparse fixture) is skipped, not fatal.
+            continue;
+        }
+        CpuInfo info;
+        info.cpu = c;
+        info.package = static_cast<int>(*package);
+        info.core = static_cast<int>(*core);
+        const long l3 = l3_key(root, c);
+        // No L3 description: the package is the closest honest domain.
+        // Offset real keys so the two namespaces cannot collide.
+        info.l3 = l3 >= 0 ? static_cast<int>(l3)
+                          : -(info.package + 2);
+        t.cpus_.push_back(info);
+    }
+    if (t.cpus_.empty()) {
+        if (err != nullptr) {
+            *err = "no cpu under '" + root + "' carries topology files";
+        }
+        return std::nullopt;
+    }
+    std::sort(t.cpus_.begin(), t.cpus_.end(),
+              [](const CpuInfo& a, const CpuInfo& b) { return a.cpu < b.cpu; });
+    // SMT ranks follow sibling-list order == ascending cpu id (derive
+    // assigns ranks in iteration order), which matches
+    // thread_siblings_list's ascending convention.
+    t.derive();
+    return t;
+}
+
+Topology Topology::detect() {
+    if (auto t = parse("/sys/devices/system/cpu")) return std::move(*t);
+    return flat(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+const Topology& Topology::system() {
+    static const Topology topo = detect();
+    return topo;
+}
+
+const CpuInfo* Topology::find_cpu(unsigned os_cpu) const noexcept {
+    const auto it = std::lower_bound(
+        cpus_.begin(), cpus_.end(), os_cpu,
+        [](const CpuInfo& c, unsigned v) { return c.cpu < v; });
+    return it != cpus_.end() && it->cpu == os_cpu ? &*it : nullptr;
+}
+
+std::vector<int> Topology::plan(PinPolicy policy, unsigned workers,
+                                unsigned offset) const {
+    if (policy == PinPolicy::kNone || cpus_.empty() || workers == 0) {
+        return {};
+    }
+
+    // The policy's cpu ORDER; a plan is `workers` consecutive slots of it
+    // (wrapping), starting at `offset`.
+    std::vector<const CpuInfo*> order;
+    order.reserve(cpus_.size());
+    for (const CpuInfo& c : cpus_) order.push_back(&c);
+
+    const auto compact_less = [](const CpuInfo* a, const CpuInfo* b) {
+        return std::tie(a->package, a->l3, a->core, a->smt, a->cpu) <
+               std::tie(b->package, b->l3, b->core, b->smt, b->cpu);
+    };
+    switch (policy) {
+        case PinPolicy::kCompact:
+            std::sort(order.begin(), order.end(), compact_less);
+            break;
+        case PinPolicy::kSmtAware:
+            // All first siblings (one per physical core) in compact order,
+            // then the second siblings, and so on.
+            std::sort(order.begin(), order.end(),
+                      [&](const CpuInfo* a, const CpuInfo* b) {
+                          if (a->smt != b->smt) return a->smt < b->smt;
+                          return compact_less(a, b);
+                      });
+            break;
+        case PinPolicy::kScatter: {
+            // Round-robin across packages, compact order within each: the
+            // k-th worker of P packages lands on package k mod P.
+            std::sort(order.begin(), order.end(), compact_less);
+            std::vector<std::vector<const CpuInfo*>> per_package(packages_);
+            for (const CpuInfo* c : order) {
+                per_package[static_cast<std::size_t>(c->package)].push_back(c);
+            }
+            order.clear();
+            for (std::size_t round = 0; order.size() < cpus_.size();
+                 ++round) {
+                for (const auto& pkg : per_package) {
+                    if (round < pkg.size()) order.push_back(pkg[round]);
+                }
+            }
+            break;
+        }
+        case PinPolicy::kNone: break;  // unreachable
+    }
+
+    std::vector<int> plan(workers, -1);
+    for (unsigned t = 0; t < workers; ++t) {
+        plan[t] = static_cast<int>(
+            order[(offset + t) % order.size()]->cpu);
+    }
+    return plan;
+}
+
+}  // namespace sec::topo

@@ -25,6 +25,7 @@
 #include <unistd.h>
 
 #include "core/common.hpp"
+#include "exec/worker_pool.hpp"
 #include "net/protocol.hpp"
 #include "workload/runner.hpp"
 
@@ -243,15 +244,18 @@ LoopbackClientResult run_loopback_client(const LoopbackClientConfig& cfg) {
     // lane starts its schedule while another is still in connect().
     const Clock::time_point epoch = Clock::now() + std::chrono::milliseconds(5);
 
-    std::vector<std::thread> threads;
-    threads.reserve(lanes.size() * 2);
-    for (auto& lane : lanes) {
-        threads.emplace_back([&lane, epoch] { sender_main(*lane, epoch); });
-        threads.emplace_back([&lane, epoch, grace = cfg.drain_grace] {
-            receiver_main(*lane, epoch, grace);
+    // One pool worker per lane endpoint: even indices send, odd indices
+    // receive, so lane i's pair sits at slots 2i / 2i+1.
+    exec::WorkerPool::run(
+        static_cast<unsigned>(lanes.size() * 2),
+        [&lanes, epoch, grace = cfg.drain_grace](exec::WorkerContext& wc) {
+            Lane& lane = *lanes[wc.index / 2];
+            if (wc.index % 2 == 0) {
+                sender_main(lane, epoch);
+            } else {
+                receiver_main(lane, epoch, grace);
+            }
         });
-    }
-    for (auto& t : threads) t.join();
 
     std::uint64_t last_reply_ns = 0;
     for (auto& lane : lanes) {

@@ -117,7 +117,11 @@ bool SecServer::start(std::string* err) {
 
     stop_.store(false, std::memory_order_release);
     running_.store(true, std::memory_order_release);
-    thread_ = std::thread([this] { loop(); });
+    exec::PoolOptions popts;
+    popts.pin = cfg_.pin;
+    popts.coordinator_in_barrier = false;
+    pool_ = std::make_unique<exec::WorkerPool>(1, popts);
+    pool_->start([this](exec::WorkerContext&) { loop(); });
     return true;
 }
 
@@ -126,7 +130,10 @@ void SecServer::stop() {
     stop_.store(true, std::memory_order_release);
     const std::uint64_t one = 1;
     [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
-    if (thread_.joinable()) thread_.join();
+    if (pool_) {
+        pool_->join();
+        pool_.reset();
+    }
     for (auto& [fd, conn] : conns_) ::close(fd);
     conns_.clear();
     ::close(listen_fd_);

@@ -400,6 +400,8 @@ RunConfig ScenarioContext::run_config(unsigned threads, const OpMix& mix,
     cfg.value_range = e.value_range;
     cfg.runs = e.runs;
     cfg.seed = e.seed;
+    cfg.pin = topo::parse_pin_policy(e.pin).value_or(topo::PinPolicy::kNone);
+    cfg.counters = e.counters;
     return cfg;
 }
 
@@ -418,6 +420,21 @@ void ScenarioContext::series(Table& table, const AlgoSpec& algo,
             run_throughput_any([&] { return algo.make(params); }, cfg);
         table.add(t, algo.name, r.mops);
         progress_line(algo.name, t, r.mops);
+        // Hardware-counter evidence next to the Mops cell, when the kernel
+        // granted the counter groups. Unit-less csv_row cells: reported by
+        // the snapshot compare but never gated (counter rates move with
+        // the host's PMU, not with codegen alone).
+        if (r.perf.any() && r.total_ops > 0) {
+            const double ops = static_cast<double>(r.total_ops);
+            const std::string perf_table = std::string(table.name()) + "_perf";
+            csv_row(perf_table, std::to_string(t), algo.name + ":cycles_per_op",
+                    static_cast<double>(r.perf.cycles) / ops);
+            csv_row(perf_table, std::to_string(t), algo.name + ":instr_per_op",
+                    static_cast<double>(r.perf.instructions) / ops);
+            csv_row(perf_table, std::to_string(t),
+                    algo.name + ":llc_miss_per_kop",
+                    static_cast<double>(r.perf.llc_misses) * 1000.0 / ops);
+        }
     }
 }
 

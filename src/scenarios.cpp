@@ -14,6 +14,7 @@
 
 #include "core/elim_pool.hpp"
 #include "core/sharded_stack.hpp"
+#include "exec/topology.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "reclaim/reclaim.hpp"
@@ -809,6 +810,8 @@ ServiceConfig service_config(const ScenarioContext& ctx, unsigned consumers,
     scfg.duration = std::chrono::milliseconds(ctx.env.duration_ms);
     scfg.arrival = arrival;
     scfg.seed = ctx.env.seed;
+    scfg.pin =
+        topo::parse_pin_policy(ctx.env.pin).value_or(topo::PinPolicy::kNone);
     return scfg;
 }
 
@@ -992,6 +995,8 @@ int net_service(const ScenarioContext& ctx) {
                 params.threads = 2;  // the event loop is the only stack user
                 net::ServerConfig scfg;
                 scfg.backend = ctx.env.backend;
+                scfg.pin = topo::parse_pin_policy(ctx.env.pin)
+                               .value_or(topo::PinPolicy::kNone);
                 server.emplace(a->make(params), scfg);
                 std::string err;
                 if (!server->start(&err)) {

@@ -8,10 +8,10 @@
 
 #include <barrier>
 #include <cmath>
-#include <thread>
 #include <vector>
 
 #include "core/common.hpp"
+#include "exec/worker_pool.hpp"
 #include "workload/runner.hpp"
 
 namespace sec::bench {
@@ -117,45 +117,52 @@ ServiceResult run_service_any(const AnyStackFactory& make,
         static_cast<std::ptrdiff_t>(cfg.producers + cfg.consumers) + 1);
     Clock::time_point epoch;
 
-    std::vector<std::thread> threads;
-    threads.reserve(cfg.producers + cfg.consumers);
-    for (unsigned p = 0; p < cfg.producers; ++p) {
-        threads.emplace_back([&, p] {
-            sync.arrive_and_wait();
-            sync.arrive_and_wait();
-            ServeProduceArgs args;
-            args.schedule = lanes[p].data();
-            args.count = lanes[p].size();
-            args.epoch = epoch;
-            stack.serve_produce(args);
-        });
-    }
-    for (unsigned c = 0; c < cfg.consumers; ++c) {
-        threads.emplace_back([&, c] {
-            sync.arrive_and_wait();
-            sync.arrive_and_wait();
-            ServeConsumeArgs args;
-            args.epoch = epoch;
-            if (c == 0) {
-                args.stall_after_op = cfg.stall_after_op;
-                args.stall_ns = cfg.stall_ns;
-            }
-            *completed[c] =
-                stack.serve_consume(stop, args, *sojourns[c], *services[c]);
-            *ends[c] = Clock::now();
-        });
-    }
+    // Two pools sharing the external barrier above (the pools' own
+    // barriers cover only their own workers, and this rendezvous spans
+    // both lanes plus the coordinator). Under a pin policy the consumer
+    // pool plans from slot `producers` of the cpu order, so the lanes
+    // occupy disjoint cpus until the machine is full.
+    exec::PoolOptions popts;
+    popts.pin = cfg.pin;
+    popts.coordinator_in_barrier = false;
+    exec::WorkerPool producer_pool(cfg.producers, popts);
+    exec::PoolOptions copts = popts;
+    copts.plan_offset = cfg.producers;
+    exec::WorkerPool consumer_pool(cfg.consumers, copts);
+
+    producer_pool.start([&](exec::WorkerContext& wc) {
+        const unsigned p = wc.index;
+        sync.arrive_and_wait();
+        sync.arrive_and_wait();
+        ServeProduceArgs args;
+        args.schedule = lanes[p].data();
+        args.count = lanes[p].size();
+        args.epoch = epoch;
+        stack.serve_produce(args);
+    });
+    consumer_pool.start([&](exec::WorkerContext& wc) {
+        const unsigned c = wc.index;
+        sync.arrive_and_wait();
+        sync.arrive_and_wait();
+        ServeConsumeArgs args;
+        args.epoch = epoch;
+        if (c == 0) {
+            args.stall_after_op = cfg.stall_after_op;
+            args.stall_ns = cfg.stall_ns;
+        }
+        *completed[c] =
+            stack.serve_consume(stop, args, *sojourns[c], *services[c]);
+        *ends[c] = Clock::now();
+    });
 
     sync.arrive_and_wait();
     epoch = Clock::now();
     sync.arrive_and_wait();
     // Producers exit when their schedules are exhausted; only then may the
     // consumers treat an empty buffer as drained.
-    for (unsigned p = 0; p < cfg.producers; ++p) threads[p].join();
+    producer_pool.join();
     stop.store(true, std::memory_order_relaxed);
-    for (unsigned c = 0; c < cfg.consumers; ++c) {
-        threads[cfg.producers + c].join();
-    }
+    consumer_pool.join();
 
     Clock::time_point last = epoch;
     for (unsigned c = 0; c < cfg.consumers; ++c) {

@@ -13,10 +13,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
+#include <thread>  // std::this_thread::yield
 #include <vector>
 
 #include "core/adaptive.hpp"
+#include "exec/worker_pool.hpp"
 #include "sec.hpp"
 #include "workload/registry.hpp"
 
@@ -249,24 +250,20 @@ void churn_and_verify(sec::SecStack<Value>& stack, unsigned threads,
                       std::uint32_t ops_per_thread) {
     std::vector<std::vector<Value>> pushed(threads);
     std::vector<std::vector<Value>> popped(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-        workers.emplace_back([&, t] {
-            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
-            std::uint32_t seq = 0;
-            for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
-                if (rng.next_below(2) == 0) {
-                    const Value v = tag(t, seq++);
-                    stack.push(v);
-                    pushed[t].push_back(v);
-                } else if (auto v = stack.pop()) {
-                    popped[t].push_back(*v);
-                }
+    sec::exec::WorkerPool::run(threads, [&](sec::exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
+        std::uint32_t seq = 0;
+        for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
+            if (rng.next_below(2) == 0) {
+                const Value v = tag(t, seq++);
+                stack.push(v);
+                pushed[t].push_back(v);
+            } else if (auto v = stack.pop()) {
+                popped[t].push_back(*v);
             }
-        });
-    }
-    for (auto& w : workers) w.join();
+        }
+    });
 
     std::vector<Value> all_pushed, all_popped;
     for (unsigned t = 0; t < threads; ++t) {
@@ -310,7 +307,10 @@ TEST(AdaptiveIntegration, SurvivesRapidActiveSetFlips) {
     cfg.tuning = &tuning;
     sec::SecStack<Value> stack(cfg);
     std::atomic<bool> stop{false};
-    std::thread toggler([&] {
+    sec::exec::PoolOptions wo;
+    wo.coordinator_in_barrier = false;
+    sec::exec::WorkerPool toggler(1, wo);
+    toggler.start([&](sec::exec::WorkerContext&) {
         bool wide = false;
         while (!stop.load(std::memory_order_relaxed)) {
             tuning.store(wide ? 4 : 1, wide ? 4096 : 0);

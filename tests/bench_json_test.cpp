@@ -28,6 +28,11 @@ sj::Snapshot sample_snapshot() {
     s.meta.build_type = "Release";
     s.meta.march_native = true;
     s.meta.cores = 8;
+    s.meta.packages = 2;
+    s.meta.cores_per_package = 4;
+    s.meta.smt_width = 2;
+    s.meta.l3_domains = 2;
+    s.meta.pin = "compact";
     s.meta.scenarios = "fig2,micro";
     s.meta.algos = "SEC,TRB";
     s.meta.reclaim = "hp";
@@ -61,6 +66,11 @@ TEST(BenchJsonTest, WriteParseRoundTrip) {
     EXPECT_EQ(out.meta.build_type, in.meta.build_type);
     EXPECT_EQ(out.meta.march_native, in.meta.march_native);
     EXPECT_EQ(out.meta.cores, in.meta.cores);
+    EXPECT_EQ(out.meta.packages, in.meta.packages);
+    EXPECT_EQ(out.meta.cores_per_package, in.meta.cores_per_package);
+    EXPECT_EQ(out.meta.smt_width, in.meta.smt_width);
+    EXPECT_EQ(out.meta.l3_domains, in.meta.l3_domains);
+    EXPECT_EQ(out.meta.pin, in.meta.pin);
     EXPECT_EQ(out.meta.scenarios, in.meta.scenarios);
     EXPECT_EQ(out.meta.algos, in.meta.algos);
     EXPECT_EQ(out.meta.reclaim, in.meta.reclaim);
@@ -228,6 +238,52 @@ TEST(BenchJsonTest, BuildMetadataCarriesCompileTimeFacts) {
     EXPECT_FALSE(m.git_sha.empty());
     EXPECT_FALSE(m.compiler.empty());
     EXPECT_GT(m.cores, 0u);
+    // Topology half: the system always has at least one package, core, and
+    // L3 domain (the flat fallback synthesizes exactly that).
+    EXPECT_GT(m.packages, 0u);
+    EXPECT_GT(m.cores_per_package, 0u);
+    EXPECT_GT(m.smt_width, 0u);
+    EXPECT_GT(m.l3_domains, 0u);
+}
+
+// A pre-topology snapshot (all new fields absent) must still parse, with
+// the topology half defaulted to zero/empty — and those defaults must
+// never produce a mismatch warning.
+TEST(BenchJsonTest, OldSnapshotsParseWithZeroTopologyAndNeverMismatch) {
+    sj::Snapshot in = sample_snapshot();
+    in.meta.packages = 0;
+    in.meta.cores_per_package = 0;
+    in.meta.smt_width = 0;
+    in.meta.l3_domains = 0;
+    in.meta.pin.clear();
+    const std::string path = temp_path("sec_bench_json_oldmeta.json");
+    std::string err;
+    ASSERT_TRUE(sj::write_snapshot(in, path, &err)) << err;
+    sj::Snapshot out;
+    ASSERT_TRUE(sj::read_snapshot(path, out, &err)) << err;
+    std::remove(path.c_str());
+    EXPECT_EQ(out.meta.packages, 0u);
+    EXPECT_EQ(out.meta.pin, "");
+
+    sj::Metadata current = sample_snapshot().meta;  // fully populated
+    EXPECT_EQ(sj::topology_mismatch(out.meta, current), "");
+}
+
+TEST(BenchJsonTest, TopologyMismatchDescribesEveryDriftedField) {
+    const sj::Metadata base = sample_snapshot().meta;
+    sj::Metadata same = base;
+    EXPECT_EQ(sj::topology_mismatch(base, same), "");
+
+    sj::Metadata moved = base;
+    moved.packages = 1;
+    moved.smt_width = 1;
+    moved.pin = "none";
+    const std::string desc = sj::topology_mismatch(base, moved);
+    EXPECT_NE(desc.find("packages"), std::string::npos) << desc;
+    EXPECT_NE(desc.find("smt"), std::string::npos) << desc;
+    EXPECT_NE(desc.find("pin"), std::string::npos) << desc;
+    // Unchanged fields stay out of the description.
+    EXPECT_EQ(desc.find("l3"), std::string::npos) << desc;
 }
 
 }  // namespace

@@ -27,10 +27,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <thread>
 #include <vector>
 
 #include "core/common.hpp"
+#include "exec/worker_pool.hpp"
 
 namespace sec::testing {
 
@@ -48,21 +48,12 @@ constexpr std::uint32_t tag_seq(Value v) {
     return static_cast<std::uint32_t>(v);
 }
 
-// Reclamation hooks, mirroring what the workload runner does at every
-// iteration and phase boundary. QSBR's safety contract REQUIRES them: a
-// thread is protected only between quiescence announcements, and one that
-// stops operating must go offline or it blocks reclamation forever
-// (reclaim/qsbr.hpp). The flat-combining containers have no reclaimer and
-// no hooks, hence the requires-guards.
-template <class C>
-void maybe_quiesce(C& c) {
-    if constexpr (requires { c.quiesce(); }) c.quiesce();
-}
-
-template <class C>
-void maybe_offline(C& c) {
-    if constexpr (requires { c.reclaim_offline(); }) c.reclaim_offline();
-}
+// Reclamation announcements come from sec::exec::quiesce_hook /
+// offline_hook — the same requires-guarded helpers WorkerPool and the
+// workload runner use, so the QSBR contract (quiesce between operations,
+// offline at thread exit; see reclaim/qsbr.hpp) is stated in exactly one
+// place. Flat-combining containers have neither hook and compile to
+// no-ops.
 
 // Everything a churn run observed, in observation order. `popped[c]` is
 // consumer c's removals in its local order; `drained` is the post-join
@@ -82,30 +73,26 @@ ChurnResult churn(C& container, unsigned threads,
     ChurnResult r;
     r.pushed.resize(threads);
     r.popped.resize(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-        workers.emplace_back([&, t] {
-            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
-            std::uint32_t seq = 0;
-            auto& mine_pushed = r.pushed[t];
-            auto& mine_popped = r.popped[t];
-            mine_pushed.reserve(ops_per_thread);
-            mine_popped.reserve(ops_per_thread);
-            for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
-                maybe_quiesce(container);
-                if (rng.next_below(2) == 0) {
-                    const Value v = tag(t, seq++);
-                    container.put(v);
-                    mine_pushed.push_back(v);
-                } else if (auto v = container.take()) {
-                    mine_popped.push_back(*v);
-                }
+    exec::WorkerPool::run(threads, [&](exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
+        std::uint32_t seq = 0;
+        auto& mine_pushed = r.pushed[t];
+        auto& mine_popped = r.popped[t];
+        mine_pushed.reserve(ops_per_thread);
+        mine_popped.reserve(ops_per_thread);
+        for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
+            exec::quiesce_hook(container);
+            if (rng.next_below(2) == 0) {
+                const Value v = tag(t, seq++);
+                container.put(v);
+                mine_pushed.push_back(v);
+            } else if (auto v = container.take()) {
+                mine_popped.push_back(*v);
             }
-            maybe_offline(container);
-        });
-    }
-    for (auto& w : workers) w.join();
+        }
+        exec::offline_hook(container);
+    });
     while (auto v = container.take()) r.drained.push_back(*v);
     return r;
 }

@@ -20,10 +20,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
 #include <vector>
 
 #include "container_checkers.hpp"
+#include "exec/worker_pool.hpp"
 #include "sec.hpp"
 
 namespace {
@@ -109,34 +109,28 @@ TYPED_TEST(ContainerConformanceTest, RemovalOrderRespectsShape) {
     constexpr std::uint32_t kPerProducer = 4000;
     auto c = sec::make_stack<TypeParam>(kProducers + kConsumers + 8);
 
-    std::vector<std::thread> producers;
-    for (unsigned t = 0; t < kProducers; ++t) {
-        producers.emplace_back([&, t] {
-            for (std::uint32_t i = 0; i < kPerProducer; ++i) {
-                st::maybe_quiesce(*c);
-                ASSERT_TRUE(c->put(st::tag(t, i)));
-            }
-            st::maybe_offline(*c);
-        });
-    }
-    for (auto& p : producers) p.join();
+    sec::exec::WorkerPool::run(kProducers, [&](sec::exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+            sec::exec::quiesce_hook(*c);
+            ASSERT_TRUE(c->put(st::tag(t, i)));
+        }
+        sec::exec::offline_hook(*c);
+    });
 
     // With no puts in flight, an empty take() means genuinely drained:
     // every linearizable removal after that point also sees empty.
     std::vector<std::vector<Value>> taken(kConsumers);
-    std::vector<std::thread> consumers;
-    for (unsigned t = 0; t < kConsumers; ++t) {
-        consumers.emplace_back([&, t] {
-            for (;;) {
-                st::maybe_quiesce(*c);
-                auto v = c->take();
-                if (!v) break;
-                taken[t].push_back(*v);
-            }
-            st::maybe_offline(*c);
-        });
-    }
-    for (auto& cns : consumers) cns.join();
+    sec::exec::WorkerPool::run(kConsumers, [&](sec::exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        for (;;) {
+            sec::exec::quiesce_hook(*c);
+            auto v = c->take();
+            if (!v) break;
+            taken[t].push_back(*v);
+        }
+        sec::exec::offline_hook(*c);
+    });
 
     constexpr bool kIncreasing =
         TypeParam::kShape == sec::ContainerShape::fifo;
@@ -173,45 +167,45 @@ TYPED_TEST(ContainerConformanceTest, FifoTotalOrderUnderConcurrentChurn) {
 
         std::atomic<bool> done{false};
         std::vector<std::vector<Value>> taken(kConsumers);
-        std::vector<std::thread> threads;
-        for (unsigned t = 0; t < kConsumers; ++t) {
-            threads.emplace_back([&, t] {
-                for (;;) {
-                    st::maybe_quiesce(*c);
-                    if (auto v = c->take()) {
-                        taken[t].push_back(*v);
-                    } else if (done.load(std::memory_order_acquire)) {
-                        // Producers finished and the queue read empty after
-                        // that: one more sweep to close the race where the
-                        // final enqueue landed between our take and the
-                        // done load.
-                        for (;;) {
-                            st::maybe_quiesce(*c);
-                            auto w = c->take();
-                            if (!w) break;
-                            taken[t].push_back(*w);
-                        }
-                        st::maybe_offline(*c);
-                        return;
+        // Two pools so the consumers can outlive the producers: join the
+        // producer pool, raise `done`, then join the consumers.
+        sec::exec::PoolOptions wo;
+        wo.coordinator_in_barrier = false;
+        sec::exec::WorkerPool consumers(kConsumers, wo);
+        consumers.start([&](sec::exec::WorkerContext& wc) {
+            const unsigned t = wc.index;
+            for (;;) {
+                sec::exec::quiesce_hook(*c);
+                if (auto v = c->take()) {
+                    taken[t].push_back(*v);
+                } else if (done.load(std::memory_order_acquire)) {
+                    // Producers finished and the queue read empty after
+                    // that: one more sweep to close the race where the
+                    // final enqueue landed between our take and the
+                    // done load.
+                    for (;;) {
+                        sec::exec::quiesce_hook(*c);
+                        auto w = c->take();
+                        if (!w) break;
+                        taken[t].push_back(*w);
                     }
+                    sec::exec::offline_hook(*c);
+                    return;
                 }
-            });
-        }
-        for (unsigned t = 0; t < kProducers; ++t) {
-            threads.emplace_back([&, t] {
-                for (std::uint32_t i = 0; i < kPerProducer; ++i) {
-                    st::maybe_quiesce(*c);
-                    ASSERT_TRUE(c->put(st::tag(t, i)));
-                }
-                st::maybe_offline(*c);
-            });
-        }
-        // Join producers (they were appended after the consumers).
-        for (unsigned t = kConsumers; t < threads.size(); ++t) {
-            threads[t].join();
-        }
+            }
+        });
+        sec::exec::WorkerPool producers(kProducers, wo);
+        producers.start([&](sec::exec::WorkerContext& wc) {
+            const unsigned t = wc.index;
+            for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+                sec::exec::quiesce_hook(*c);
+                ASSERT_TRUE(c->put(st::tag(t, i)));
+            }
+            sec::exec::offline_hook(*c);
+        });
+        producers.join();
         done.store(true, std::memory_order_release);
-        for (unsigned t = 0; t < kConsumers; ++t) threads[t].join();
+        consumers.join();
 
         std::vector<Value> inserted;
         std::vector<Value> removed;

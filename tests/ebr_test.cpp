@@ -6,9 +6,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
+#include <thread>  // std::this_thread::yield
 #include <vector>
 
+#include "exec/worker_pool.hpp"
 #include "sec.hpp"
 
 namespace {
@@ -24,16 +25,12 @@ TEST(EbrTest, AccountingBalancesAfterChurn) {
     constexpr unsigned kThreads = 4;
     constexpr std::uint64_t kPerThread = 5000;
 
-    std::vector<std::thread> workers;
-    for (unsigned t = 0; t < kThreads; ++t) {
-        workers.emplace_back([&domain] {
-            for (std::uint64_t i = 0; i < kPerThread; ++i) {
-                sec::ebr::Guard g(domain);
-                domain.retire(new std::uint64_t(i));
-            }
-        });
-    }
-    for (auto& w : workers) w.join();
+    sec::exec::WorkerPool::run(kThreads, [&](sec::exec::WorkerContext&) {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+            sec::ebr::Guard g(domain);
+            domain.retire(new std::uint64_t(i));
+        }
+    });
 
     EXPECT_EQ(domain.retired_count(), kThreads * kPerThread);
     EXPECT_EQ(domain.retired_count(), domain.freed_count() + domain.in_limbo());
@@ -60,7 +57,10 @@ TEST(EbrTest, ActiveGuardPinsLimbo) {
     sec::ebr::Domain domain;
     std::atomic<bool> entered{false};
     std::atomic<bool> release{false};
-    std::thread reader([&] {
+    sec::exec::PoolOptions wo;
+    wo.coordinator_in_barrier = false;
+    sec::exec::WorkerPool reader(1, wo);
+    reader.start([&](sec::exec::WorkerContext&) {
         domain.enter();
         entered.store(true);
         while (!release.load()) std::this_thread::yield();

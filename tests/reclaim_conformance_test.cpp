@@ -10,9 +10,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <thread>
 #include <vector>
 
+#include "exec/worker_pool.hpp"
 #include "reclaim/reclaim.hpp"
 #include "sec.hpp"
 #include "workload/registry.hpp"
@@ -44,7 +44,10 @@ TYPED_TEST(ReclaimConformanceTest, AccountingBalancesUnderChurn) {
     constexpr std::uint64_t kPerThread = 5000;
 
     std::atomic<bool> done{false};
-    std::thread sampler([&domain, &done] {
+    sec::exec::PoolOptions wo;
+    wo.coordinator_in_barrier = false;
+    sec::exec::WorkerPool sampler(1, wo);
+    sampler.start([&domain, &done](sec::exec::WorkerContext&) {
         while (!done.load(std::memory_order_relaxed)) {
             const rc::Stats s = domain.stats();
             ASSERT_LE(s.freed, s.retired);
@@ -52,20 +55,18 @@ TYPED_TEST(ReclaimConformanceTest, AccountingBalancesUnderChurn) {
         }
     });
 
-    std::vector<std::thread> workers;
-    for (unsigned t = 0; t < kThreads; ++t) {
-        workers.emplace_back([&domain] {
-            for (std::uint64_t i = 0; i < kPerThread; ++i) {
-                {
-                    typename R::Guard g(domain);
-                    domain.retire(new std::uint64_t(i));
-                }
-                domain.quiesce();
+    sec::exec::WorkerPool workers(kThreads, wo);
+    workers.start([&domain](sec::exec::WorkerContext&) {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+            {
+                typename R::Guard g(domain);
+                domain.retire(new std::uint64_t(i));
             }
-            domain.offline();
-        });
-    }
-    for (auto& w : workers) w.join();
+            domain.quiesce();
+        }
+        domain.offline();
+    });
+    workers.join();
     done.store(true, std::memory_order_relaxed);
     sampler.join();
 
@@ -159,28 +160,25 @@ TYPED_TEST(ReclaimConformanceTest, StackChurnIsSafeAndConserving) {
 
     std::vector<std::vector<Value>> pushed(kThreads);
     std::vector<std::vector<Value>> popped(kThreads);
-    std::vector<std::thread> workers;
-    for (unsigned t = 0; t < kThreads; ++t) {
-        workers.emplace_back([&, t] {
-            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
-            std::uint32_t seq = 0;
-            for (std::uint32_t i = 0; i < kOps; ++i) {
-                stack.quiesce();
-                const std::uint64_t r = rng.next_below(4);
-                if (r == 0) {
-                    const Value v = tag(t, seq++);
-                    stack.push(v);
-                    pushed[t].push_back(v);
-                } else if (r == 1) {
-                    (void)stack.peek();
-                } else if (auto v = stack.pop()) {
-                    popped[t].push_back(*v);
-                }
+    sec::exec::WorkerPool::run(kThreads, [&](sec::exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
+        std::uint32_t seq = 0;
+        for (std::uint32_t i = 0; i < kOps; ++i) {
+            stack.quiesce();
+            const std::uint64_t r = rng.next_below(4);
+            if (r == 0) {
+                const Value v = tag(t, seq++);
+                stack.push(v);
+                pushed[t].push_back(v);
+            } else if (r == 1) {
+                (void)stack.peek();
+            } else if (auto v = stack.pop()) {
+                popped[t].push_back(*v);
             }
-            stack.reclaim_offline();
-        });
-    }
-    for (auto& w : workers) w.join();
+        }
+        stack.reclaim_offline();
+    });
 
     std::vector<Value> all_pushed, all_popped;
     for (unsigned t = 0; t < kThreads; ++t) {
@@ -219,28 +217,25 @@ void queue_churn(Q& queue) {
 
     std::vector<std::vector<Value>> pushed(kThreads);
     std::vector<std::vector<Value>> popped(kThreads);
-    std::vector<std::thread> workers;
-    for (unsigned t = 0; t < kThreads; ++t) {
-        workers.emplace_back([&, t] {
-            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
-            std::uint32_t seq = 0;
-            for (std::uint32_t i = 0; i < kOps; ++i) {
-                queue.quiesce();
-                const std::uint64_t r = rng.next_below(4);
-                if (r == 0) {
-                    const Value v = tag(t, seq++);
-                    queue.put(v);
-                    pushed[t].push_back(v);
-                } else if (r == 1) {
-                    (void)queue.peek();
-                } else if (auto v = queue.take()) {
-                    popped[t].push_back(*v);
-                }
+    sec::exec::WorkerPool::run(kThreads, [&](sec::exec::WorkerContext& wc) {
+        const unsigned t = wc.index;
+        sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
+        std::uint32_t seq = 0;
+        for (std::uint32_t i = 0; i < kOps; ++i) {
+            queue.quiesce();
+            const std::uint64_t r = rng.next_below(4);
+            if (r == 0) {
+                const Value v = tag(t, seq++);
+                queue.put(v);
+                pushed[t].push_back(v);
+            } else if (r == 1) {
+                (void)queue.peek();
+            } else if (auto v = queue.take()) {
+                popped[t].push_back(*v);
             }
-            queue.reclaim_offline();
-        });
-    }
-    for (auto& w : workers) w.join();
+        }
+        queue.reclaim_offline();
+    });
 
     std::vector<Value> all_pushed, all_popped;
     for (unsigned t = 0; t < kThreads; ++t) {

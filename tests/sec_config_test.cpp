@@ -8,9 +8,10 @@
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
-#include <thread>
+#include <thread>  // std::this_thread::yield
 #include <vector>
 
+#include "exec/worker_pool.hpp"
 #include "sec.hpp"
 
 namespace {
@@ -65,15 +66,12 @@ TEST(SecConfigTest, MappingModesPreserveSemantics) {
         Stack stack(cfg);
         constexpr unsigned kThreads = 4;
         constexpr std::uint64_t kPerThread = 5000;
-        std::vector<std::thread> workers;
-        for (unsigned t = 0; t < kThreads; ++t) {
-            workers.emplace_back([&stack] {
+        sec::exec::WorkerPool::run(
+            kThreads, [&stack](sec::exec::WorkerContext&) {
                 for (std::uint64_t i = 0; i < kPerThread; ++i) {
                     stack.push(i);
                 }
             });
-        }
-        for (auto& w : workers) w.join();
         std::uint64_t drained = 0;
         while (stack.pop().has_value()) ++drained;
         EXPECT_EQ(drained, kThreads * kPerThread);
@@ -105,9 +103,9 @@ TEST(SecConfigTest, CollectStatsYieldsDegreesOnUpdateHeavyMix) {
     // loaded host one round of churn can serialise, so retry (stats
     // accumulate across rounds) instead of asserting on scheduling luck.
     for (int round = 0; round < 3; ++round) {
-        std::vector<std::thread> workers;
-        for (unsigned t = 0; t < kThreads; ++t) {
-            workers.emplace_back([&stack, t] {
+        sec::exec::WorkerPool::run(
+            kThreads, [&stack](sec::exec::WorkerContext& wc) {
+                const unsigned t = wc.index;
                 sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
                 // kUpdateHeavy: 50% push, 50% pop.
                 for (std::uint32_t i = 0; i < kPerThread; ++i) {
@@ -118,8 +116,6 @@ TEST(SecConfigTest, CollectStatsYieldsDegreesOnUpdateHeavyMix) {
                     }
                 }
             });
-        }
-        for (auto& w : workers) w.join();
         if (stack.stats().eliminated_ops > 0) break;
     }
 
@@ -153,19 +149,19 @@ TEST(SecConfigTest, StatsSnapshotIsConsistentUnderConcurrentLoad) {
 
     constexpr unsigned kThreads = 4;
     std::atomic<bool> stop{false};
-    std::vector<std::thread> workers;
-    for (unsigned t = 0; t < kThreads; ++t) {
-        workers.emplace_back([&stack, &stop, t] {
-            sec::Xoshiro256 rng((t + 1) * 0x9E3779B97F4A7C15ull);
-            while (!stop.load(std::memory_order_relaxed)) {
-                if (rng.next_below(2) == 0) {
-                    stack.push(1);
-                } else {
-                    (void)stack.pop();
-                }
+    sec::exec::PoolOptions wo;
+    wo.coordinator_in_barrier = false;
+    sec::exec::WorkerPool workers(kThreads, wo);
+    workers.start([&stack, &stop](sec::exec::WorkerContext& wc) {
+        sec::Xoshiro256 rng((wc.index + 1) * 0x9E3779B97F4A7C15ull);
+        while (!stop.load(std::memory_order_relaxed)) {
+            if (rng.next_below(2) == 0) {
+                stack.push(1);
+            } else {
+                (void)stack.pop();
             }
-        });
-    }
+        }
+    });
 
     // Wait until the workers actually produce batches: on an oversubscribed
     // host the main thread can burn through the whole snapshot loop before
@@ -196,7 +192,7 @@ TEST(SecConfigTest, StatsSnapshotIsConsistentUnderConcurrentLoad) {
         prev = s;
     }
     stop.store(true, std::memory_order_relaxed);
-    for (auto& w : workers) w.join();
+    workers.join();
     EXPECT_GT(stack.stats().batches, 0u);
 }
 

@@ -8,10 +8,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "core/sharded_stack.hpp"
+#include "exec/worker_pool.hpp"
 #include "sec.hpp"
 #include "workload/registry.hpp"
 
@@ -127,16 +127,12 @@ TEST(ShardedStack, QuiescentEmptyVerdictIsExact) {
 TEST(ShardedStack, StatsAggregateAcrossShards) {
     auto stack = make_sharded(2, 64, /*collect_stats=*/true);
     constexpr unsigned kThreads = 4;
-    std::vector<std::thread> workers;
-    for (unsigned t = 0; t < kThreads; ++t) {
-        workers.emplace_back([&stack] {
-            for (Value v = 0; v < 20000; ++v) {
-                stack->push(v);
-                (void)stack->pop();
-            }
-        });
-    }
-    for (auto& w : workers) w.join();
+    sec::exec::WorkerPool::run(kThreads, [&](sec::exec::WorkerContext&) {
+        for (Value v = 0; v < 20000; ++v) {
+            stack->push(v);
+            (void)stack->pop();
+        }
+    });
     const sec::StatsSnapshot s = stack->stats();
     EXPECT_GT(s.batches, 0u);
     EXPECT_EQ(s.eliminated_ops + s.combined_ops, s.batched_ops);
@@ -162,9 +158,9 @@ TEST(ShardedStack, MigratingThreadChurnLosesNothing) {
     for (unsigned round = 0; round < kRounds; ++round) {
         std::vector<std::vector<Value>> pushed(kThreads);
         std::vector<std::vector<Value>> popped(kThreads);
-        std::vector<std::thread> workers;
-        for (unsigned t = 0; t < kThreads; ++t) {
-            workers.emplace_back([&, t, round] {
+        sec::exec::WorkerPool::run(
+            kThreads, [&, round](sec::exec::WorkerContext& wc) {
+                const unsigned t = wc.index;
                 const unsigned who = round * kThreads + t;
                 sec::Xoshiro256 rng((who + 1) * 0x9E3779B97F4A7C15ull);
                 std::uint32_t seq = 0;
@@ -178,8 +174,6 @@ TEST(ShardedStack, MigratingThreadChurnLosesNothing) {
                     }
                 }
             });
-        }
-        for (auto& w : workers) w.join();
         for (unsigned t = 0; t < kThreads; ++t) {
             all_pushed.insert(all_pushed.end(), pushed[t].begin(),
                               pushed[t].end());
